@@ -1,0 +1,325 @@
+package optsched
+
+// The benchmark harness: one benchmark per experiment in EXPERIMENTS.md
+// (regenerating the paper-shaped numbers under testing.B), plus
+// micro-benchmarks of the protocol's building blocks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration work of the E* benchmarks is one full experiment
+// regeneration, so ns/op is the cost of reproducing that table.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/experiment"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// --- Experiment regeneration benches (one per table/figure) ---
+
+func BenchmarkE1Lemma1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.E1Lemma1()
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkE2SequentialWC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.E2SequentialConvergence()
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkE3Counterexample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.E3Counterexample()
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkE4Potential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.E4Potential()
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkE5RoundCost(b *testing.B) {
+	// The real Figure-1 numbers: ns per balancing round by core count
+	// and mode, measured by testing.B rather than the harness's rough
+	// timer.
+	for _, cores := range []int{4, 16, 64, 256} {
+		loads := make([]int, cores)
+		for i := range loads {
+			loads[i] = i * 7 % 5
+		}
+		p := policy.NewDelta2()
+		b.Run(benchName("sequential", cores), func(b *testing.B) {
+			m := sched.MachineFromLoads(loads...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.SequentialRound(p, m)
+			}
+		})
+		b.Run(benchName("concurrent", cores), func(b *testing.B) {
+			m := sched.MachineFromLoads(loads...)
+			order := sched.IdentityOrder(cores)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched.ConcurrentRound(p, m, order)
+			}
+		})
+	}
+}
+
+func benchName(mode string, cores int) string {
+	return mode + "/cores=" + itoa(cores)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkE5DSLOverhead(b *testing.B) {
+	// Interpreted DSL policy vs native Go policy on the same round —
+	// design constraint (iii): low overhead.
+	src := `policy delta2_dsl {
+	    load   = self.ready.size + self.current.size
+	    filter = stealee.load - thief.load >= 2
+	    steal  = 1
+	}`
+	dslPol, _, err := dsl.CompileSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := []int{0, 3, 1, 4, 0, 2, 5, 1}
+	b.Run("native", func(b *testing.B) {
+		p := policy.NewDelta2()
+		m := sched.MachineFromLoads(loads...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.SequentialRound(p, m)
+		}
+	})
+	b.Run("dsl-interpreted", func(b *testing.B) {
+		m := sched.MachineFromLoads(loads...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sched.SequentialRound(dslPol, m)
+		}
+	})
+}
+
+func BenchmarkE6WastedCores(b *testing.B) {
+	// One full motivation run per policy: db trap + barrier trap.
+	for _, name := range []string{"weighted", "cfs-group-buggy", "null"} {
+		b.Run("db/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				trap := workload.NewDBTrap()
+				p, _ := policy.New(name)
+				s := sim.New(sim.Config{Cores: trap.Cores(), Policy: p,
+					Groups: trap.Groups(), Seed: 11})
+				trap.Setup(s)
+				st := s.Run(1_500_000)
+				if st.Rounds == 0 {
+					b.Fatal("no rounds")
+				}
+			}
+		})
+		b.Run("barrier/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				trap := workload.NewBarrierTrap(1700)
+				p, _ := policy.New(name)
+				s := sim.New(sim.Config{Cores: trap.Cores(), Policy: p,
+					Groups: trap.Groups(), Seed: 11})
+				trap.Setup(s)
+				s.Run(400_000)
+			}
+		})
+	}
+}
+
+func BenchmarkE7Hierarchical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.E7Hierarchical()
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkE8Concurrent(b *testing.B) {
+	// The adversarial concurrent WC check: the costliest verification.
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
+	factory := func() sched.Policy { return policy.NewDelta2() }
+	for i := 0; i < b.N; i++ {
+		res := verify.CheckWorkConservationConcurrent(factory, u)
+		if !res.Passed {
+			b.Fatal(res.Witness)
+		}
+	}
+}
+
+func BenchmarkE9Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.E9ConvergenceRate()
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// --- Protocol micro-benches ---
+
+func BenchmarkSelect(b *testing.B) {
+	// Step 1+2 in isolation: the lock-free path every core runs each
+	// round.
+	for _, cores := range []int{4, 64} {
+		loads := make([]int, cores)
+		for i := range loads {
+			loads[i] = i % 4
+		}
+		m := sched.MachineFromLoads(loads...)
+		p := policy.NewDelta2()
+		b.Run("cores="+itoa(cores), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched.Select(p, m, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkStealRevalidated(b *testing.B) {
+	// Step 3 with re-validation, on a hit (steal succeeds) and a miss
+	// (filter flipped).
+	p := policy.NewDelta2()
+	b.Run("hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m := sched.MachineFromLoads(0, 3)
+			att := sched.Select(p, m, 0)
+			b.StartTimer()
+			sched.Steal(p, m, &att)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		m := sched.MachineFromLoads(1, 2)
+		att := sched.Attempt{Thief: 0, Victim: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := att
+			sched.Steal(p, m, &a) // gap 1: re-validation fails, no mutation
+		}
+	})
+}
+
+func BenchmarkPotentialFunctions(b *testing.B) {
+	// Ablation: the paper's pairwise-sum potential vs the cheaper
+	// max-min alternative.
+	loads := make([]int, 64)
+	for i := range loads {
+		loads[i] = i % 5
+	}
+	m := sched.MachineFromLoads(loads...)
+	p := policy.NewDelta2()
+	b.Run("pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched.PairwiseImbalance(p, m)
+		}
+	})
+	b.Run("maxmin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched.MaxMinImbalance(p, m)
+		}
+	})
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	// The executor under skewed submission: end-to-end cost per task
+	// including steals, by policy.
+	for _, name := range []string{"delta2", "null"} {
+		b.Run(name, func(b *testing.B) {
+			pool := engine.NewPool(4, func() sched.Policy {
+				p, _ := policy.New(name)
+				return p
+			}, engine.Options{IdleSleep: 10 * time.Microsecond})
+			defer pool.Close()
+			var sink atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.SubmitTo(0, func() { sink.Add(1) })
+			}
+			pool.Wait()
+			if sink.Load() != int64(b.N) {
+				b.Fatalf("executed %d of %d", sink.Load(), b.N)
+			}
+		})
+	}
+}
+
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	// Simulator throughput: events per second on the DB trap, the
+	// busiest scenario.
+	trap := workload.NewDBTrap()
+	for i := 0; i < b.N; i++ {
+		p, _ := policy.New("weighted")
+		s := sim.New(sim.Config{Cores: trap.Cores(), Policy: p, Groups: trap.Groups(), Seed: 3})
+		workload.NewDBTrap().Setup(s)
+		s.Run(200_000)
+	}
+}
+
+func BenchmarkVerifyFullReport(b *testing.B) {
+	// The complete Leon-substitute pipeline on Listing 1's policy.
+	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true}
+	for i := 0; i < b.N; i++ {
+		rep := verify.Policy("delta2", func() sched.Policy { return policy.NewDelta2() },
+			verify.Config{Universe: u})
+		if !rep.Passed() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkDSLParseCompile(b *testing.B) {
+	src := `policy delta2 {
+	    load   = self.ready.size + self.current.size
+	    filter = stealee.load - thief.load >= 2
+	    steal  = 1
+	    choose = max_load
+	}`
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dsl.CompileSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

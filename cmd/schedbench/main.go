@@ -1,0 +1,45 @@
+// Command schedbench regenerates every experiment table of
+// EXPERIMENTS.md — the paper-shaped output in one shot.
+//
+// Usage:
+//
+//	schedbench            # all experiments
+//	schedbench -only E3   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E9)")
+	flag.Parse()
+
+	runners := map[string]func() experiment.Result{
+		"E1": experiment.E1Lemma1,
+		"E2": experiment.E2SequentialConvergence,
+		"E3": experiment.E3Counterexample,
+		"E4": experiment.E4Potential,
+		"E5": experiment.E5RoundCost,
+		"E6": experiment.E6WastedCores,
+		"E7": experiment.E7Hierarchical,
+		"E8": experiment.E8Concurrent,
+		"E9": experiment.E9ConvergenceRate,
+	}
+	if *only != "" {
+		run, ok := runners[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (want E1..E9)\n", *only)
+			os.Exit(2)
+		}
+		fmt.Println(run())
+		return
+	}
+	for _, r := range experiment.All() {
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestSupportPath(t *testing.T) {
+	cases := map[string]string{
+		"out.go":      "out_support.go",
+		"a/b/pol.go":  "a/b/pol_support.go",
+		"noext":       "noext_support.go",
+		"tricky.go.x": "tricky.go.x_support.go",
+	}
+	for in, want := range cases {
+		if got := supportPath(in); got != want {
+			t.Errorf("supportPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

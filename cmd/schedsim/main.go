@@ -1,0 +1,118 @@
+// Command schedsim runs the discrete-event simulator on a chosen
+// policy × workload × machine and prints the measurement snapshot —
+// the repository's stand-in for running a patched kernel on a testbed.
+//
+// Usage:
+//
+//	schedsim [-policy name] [-workload name] [-cores N] [-horizon T]
+//	         [-seed S] [-sequential] [-trace file.json]
+//
+// Workloads: db-trap, barrier-trap, barrier, forkjoin, bursty.
+//
+// Examples:
+//
+//	schedsim -policy weighted -workload db-trap
+//	schedsim -policy cfs-group-buggy -workload db-trap    # the bug, live
+//	schedsim -policy delta2 -workload forkjoin -cores 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "delta2", "balancing policy (see schedverify -list)")
+		wlName     = flag.String("workload", "db-trap", "workload: db-trap, barrier-trap, barrier, forkjoin, bursty")
+		cores      = flag.Int("cores", 0, "cores (0 = workload's calibrated width)")
+		horizon    = flag.Int64("horizon", 1_500_000, "virtual ticks to simulate (1 tick = 1µs)")
+		seed       = flag.Uint64("seed", 1, "deterministic RNG seed")
+		sequential = flag.Bool("sequential", false, "use §4.2 sequential rounds instead of optimistic concurrent")
+		traceFile  = flag.String("trace", "", "write the last 64k trace events as JSON")
+	)
+	flag.Parse()
+
+	p, err := policy.New(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+
+	wl, width, groups, metric := buildWorkload(*wlName)
+	if *cores > 0 {
+		width = *cores
+		groups = nil
+	}
+
+	var ring *trace.Ring
+	if *traceFile != "" {
+		ring = trace.NewRing(65536)
+	}
+	mode := sim.RoundConcurrent
+	if *sequential {
+		mode = sim.RoundSequential
+	}
+	s := sim.New(sim.Config{
+		Cores: width, Policy: p, Groups: groups,
+		Mode: mode, Seed: *seed, Ring: ring,
+	})
+	wl.Setup(s)
+	st := s.Run(*horizon)
+
+	fmt.Printf("policy    %s\nworkload  %s\ncores     %d\n", *policyName, wl.Name(), width)
+	fmt.Printf("stats     %v\n", st)
+	fmt.Printf("latency   p50=%d p90=%d p99=%d max=%d\n",
+		st.Latency.Quantile(0.5), st.Latency.Quantile(0.9),
+		st.Latency.Quantile(0.99), st.Latency.Max())
+	fmt.Printf("wasted    %.0f core-ticks (%.1f%% of capacity), %d violation episodes\n",
+		st.WastedCoreTicks, st.WastedPct, st.ViolationEpisodes)
+	if metric != nil {
+		name, value := metric()
+		fmt.Printf("workload  %s = %d\n", name, value)
+	}
+
+	if ring != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ring.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace     %d events -> %s\n", ring.Len(), *traceFile)
+	}
+}
+
+// buildWorkload returns the workload, its calibrated machine width and
+// groups, and an optional workload-specific metric.
+func buildWorkload(name string) (workload.Workload, int, []int, func() (string, int64)) {
+	switch name {
+	case "db-trap":
+		t := workload.NewDBTrap()
+		return t, t.Cores(), t.Groups(), func() (string, int64) { return "requests", t.Server.Requests() }
+	case "barrier-trap":
+		t := workload.NewBarrierTrap(1700)
+		return t, t.Cores(), t.Groups(), func() (string, int64) { return "generations", t.Barrier.Generations() }
+	case "barrier":
+		b := &workload.Barrier{Threads: 8, Work: 1700}
+		return b, 8, nil, func() (string, int64) { return "generations", b.Generations() }
+	case "forkjoin":
+		return &workload.ForkJoin{Waves: 20, Width: 16, Work: 2000, Gap: 40_000}, 8, nil, nil
+	case "bursty":
+		return &workload.Bursty{Bursts: 30, TasksPerBurst: 12, Work: 1500, Period: 25_000}, 8, nil, nil
+	}
+	fatal(fmt.Errorf("schedsim: unknown workload %q", name))
+	return nil, 0, nil, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestBuildWorkloadKnownNames(t *testing.T) {
+	for _, name := range []string{"db-trap", "barrier-trap", "barrier", "forkjoin", "bursty"} {
+		wl, width, _, _ := buildWorkload(name)
+		if wl == nil || width <= 0 {
+			t.Errorf("buildWorkload(%q) = %v, width %d", name, wl, width)
+		}
+	}
+}
+
+func TestBuildWorkloadMetrics(t *testing.T) {
+	_, _, groups, metric := buildWorkload("db-trap")
+	if groups == nil {
+		t.Error("db-trap should carry groups")
+	}
+	if metric == nil {
+		t.Fatal("db-trap should expose a metric")
+	}
+	if name, v := metric(); name != "requests" || v != 0 {
+		t.Errorf("metric = %q %d", name, v)
+	}
+}

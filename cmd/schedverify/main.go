@@ -1,0 +1,153 @@
+// Command schedverify checks a scheduling policy against the paper's
+// proof obligations — the repository's analogue of running the Leon
+// verification pipeline.
+//
+// Usage:
+//
+//	schedverify [-policy name | -dsl file.pol] [-cores N] [-maxper N]
+//	            [-maxtotal N] [-groups 0,0,1,1] [-weights 1,3]
+//	            [-obligation id] [-quick]
+//
+// Examples:
+//
+//	schedverify -policy delta2
+//	schedverify -policy greedy-buggy            # prints the livelock
+//	schedverify -dsl mypolicy.pol -cores 3
+//	schedverify -policy cfs-group-buggy -cores 4 -groups 0,0,1,1 -weights 1,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dsl"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "", "built-in policy to verify (see -list)")
+		dslFile    = flag.String("dsl", "", "DSL policy file to verify")
+		list       = flag.Bool("list", false, "list built-in policies and exit")
+		cores      = flag.Int("cores", 3, "universe: number of cores")
+		maxPer     = flag.Int("maxper", 3, "universe: max threads per core")
+		maxTotal   = flag.Int("maxtotal", 5, "universe: max total threads (0 = cores*maxper)")
+		groups     = flag.String("groups", "", "comma-separated group per core (e.g. 0,0,1,1)")
+		weights    = flag.String("weights", "", "comma-separated task weights (e.g. 1,3)")
+		obligation = flag.String("obligation", "", "check only this obligation (e.g. lemma1)")
+		quick      = flag.Bool("quick", false, "smaller universe (cores=3, maxper=2, maxtotal=4)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("built-in policies:")
+		for _, n := range policy.Names() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	factory, name, err := resolvePolicy(*policyName, *dslFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	u := statespace.Universe{
+		Cores:              *cores,
+		MaxPerCore:         *maxPer,
+		MaxTotal:           *maxTotal,
+		IncludeUnscheduled: true,
+	}
+	if *quick {
+		u.Cores, u.MaxPerCore, u.MaxTotal = 3, 2, 4
+	}
+	if *groups != "" {
+		g, err := parseInts(*groups)
+		if err != nil {
+			fatal(fmt.Errorf("bad -groups: %w", err))
+		}
+		u.Groups = g
+	}
+	if *weights != "" {
+		w, err := parseInts(*weights)
+		if err != nil {
+			fatal(fmt.Errorf("bad -weights: %w", err))
+		}
+		u.Weights = make([]int64, len(w))
+		for i, v := range w {
+			u.Weights[i] = int64(v)
+		}
+	}
+
+	cfg := verify.Config{Universe: u}
+	if *obligation != "" {
+		cfg.Obligations = []verify.ObligationID{verify.ObligationID(*obligation)}
+	}
+
+	rep := verify.Policy(name, factory, cfg)
+	fmt.Println(rep)
+	if !rep.Passed() {
+		os.Exit(1)
+	}
+}
+
+// resolvePolicy builds the policy factory from either a built-in name or
+// a DSL file.
+func resolvePolicy(name, dslFile string) (verify.Factory, string, error) {
+	switch {
+	case name != "" && dslFile != "":
+		return nil, "", fmt.Errorf("schedverify: use -policy or -dsl, not both")
+	case name != "":
+		if _, err := policy.New(name); err != nil {
+			return nil, "", err
+		}
+		return func() sched.Policy {
+			p, err := policy.New(name)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}, name, nil
+	case dslFile != "":
+		src, err := os.ReadFile(dslFile)
+		if err != nil {
+			return nil, "", err
+		}
+		_, ast, err := dsl.CompileSource(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		return func() sched.Policy {
+			p, _, err := dsl.CompileSource(string(src))
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}, ast.Name, nil
+	}
+	return nil, "", fmt.Errorf("schedverify: need -policy <name> or -dsl <file> (try -list)")
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

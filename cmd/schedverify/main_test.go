@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("0, 0,1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v", got)
+		}
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestResolvePolicyBuiltin(t *testing.T) {
+	f, name, err := resolvePolicy("delta2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "delta2" || f().Name() != "delta2" {
+		t.Errorf("resolved %q", name)
+	}
+	if _, _, err := resolvePolicy("nope", ""); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, _, err := resolvePolicy("", ""); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, _, err := resolvePolicy("delta2", "x.pol"); err == nil {
+		t.Error("both -policy and -dsl accepted")
+	}
+}
+
+func TestResolvePolicyDSL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pol")
+	src := "policy fromfile { filter = stealee.load - thief.load >= 2 }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, name, err := resolvePolicy("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "fromfile" || f().Name() != "fromfile" {
+		t.Errorf("resolved %q", name)
+	}
+	// Missing file and broken DSL both error.
+	if _, _, err := resolvePolicy("", filepath.Join(dir, "missing.pol")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.pol")
+	os.WriteFile(bad, []byte("policy x {}"), 0o644)
+	if _, _, err := resolvePolicy("", bad); err == nil {
+		t.Error("filterless policy accepted")
+	}
+}

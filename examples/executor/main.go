@@ -1,0 +1,46 @@
+// Executor demonstrates internal/engine as a user library: a
+// work-stealing goroutine pool whose balancer is the paper's verified
+// three-step protocol — lock-free selection over published load
+// counters, locked re-validated steals. Skewed submissions spread across
+// workers; optimistic failures are visible in the stats.
+//
+//	go run ./examples/executor
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+func main() {
+	pool := engine.NewPool(4, func() sched.Policy { return policy.NewDelta2() },
+		engine.Options{})
+	defer pool.Close()
+
+	// A skewed burst: everything lands on worker 0, as if one connection
+	// produced all the work. The balancer must spread it.
+	var done atomic.Int64
+	const tasks = 2000
+	start := time.Now()
+	for i := 0; i < tasks; i++ {
+		pool.SubmitTo(0, func() {
+			time.Sleep(100 * time.Microsecond) // simulated work
+			done.Add(1)
+		})
+	}
+	pool.Wait()
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	fmt.Printf("executed %d/%d tasks in %v\n", st.Executed, tasks, elapsed.Round(time.Millisecond))
+	fmt.Printf("steals: %d tasks migrated, %d optimistic failures\n", st.Steals, st.StealFails)
+	fmt.Printf("≈%d of %d tasks ran on workers other than the submission target\n",
+		st.Steals, tasks)
+	fmt.Println("\n(the same Submit stream with the null policy would run entirely on worker 0,")
+	fmt.Println(" taking ~4x longer; timer granularity makes absolute times machine-dependent)")
+}

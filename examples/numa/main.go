@@ -1,0 +1,61 @@
+// Numa demonstrates the §5 extensions: hierarchical (two-level) load
+// balancing and NUMA-aware placement in the choice step — both verified
+// with the unchanged proof obligations, and both measurably changing
+// locality without breaking work conservation.
+//
+//	go run ./examples/numa
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+func main() {
+	top := topology.NUMA(2, 4) // 2 nodes x 4 cores
+	fmt.Printf("machine: %d cores, %d NUMA nodes, groups %v\n\n",
+		top.NCores, top.NumNodes(), top.Groups())
+
+	// 1. Verify the hierarchical policy with groups: same obligations,
+	// no new proof work.
+	u := statespace.Universe{Cores: 4, MaxPerCore: 2, MaxTotal: 4,
+		IncludeUnscheduled: true, Groups: []int{0, 0, 1, 1}}
+	rep := verify.Policy("hierarchical",
+		func() sched.Policy { return policy.NewHierarchical() },
+		verify.Config{Universe: u})
+	fmt.Println(rep)
+
+	// 2. NUMA-aware choice: compare where steals land.
+	fmt.Println("\nsteal locality on a skewed machine (one overloaded core per node):")
+	for _, variant := range []string{"plain delta2", "numa-aware delta2"} {
+		var p sched.Policy
+		if variant == "plain delta2" {
+			p = policy.NewDelta2()
+		} else {
+			p = policy.NewNUMAAware(top)
+		}
+		intra, total := 0, 0
+		m := sched.MachineFromLoads(6, 0, 0, 0, 6, 0, 0, 0)
+		policy.AssignGroups(m, top)
+		for round := 0; round < 6; round++ {
+			rr := sched.SequentialRound(p, m)
+			for _, att := range rr.Attempts {
+				if att.Succeeded() {
+					total++
+					if m.Core(att.Thief).Node == m.Core(att.Victim).Node {
+						intra++
+					}
+				}
+			}
+		}
+		fmt.Printf("  %-18s %d/%d steals stayed on the victim's node -> %v\n",
+			variant, intra, total, m.Loads())
+	}
+	fmt.Println("\nBoth variants share Delta2's filter, so both inherit its proof:")
+	fmt.Println("locality heuristics live in step 2 and cost zero proof effort (§5).")
+}

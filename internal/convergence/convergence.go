@@ -1,0 +1,313 @@
+// Package convergence implements the load-balancing convergence theory
+// the paper plans to build on for latency bounds ("Xu et al. have
+// studied the speed of convergence of various load balancing algorithms.
+// We plan to build upon this work to prove latency limits on the
+// work-conserving property of our scheduler", §2, citing Xu & Lau,
+// *Load Balancing in Parallel Computers: Theory and Practice*, 1996).
+//
+// It provides the two classical iterative schemes from that line of work
+// — nearest-neighbor diffusion and dimension exchange — on standard
+// interconnect graphs (ring, mesh, hypercube, complete), plus empirical
+// convergence measurement, so the paper's work-stealing rounds can be
+// compared against the theory's baselines (experiment E9).
+package convergence
+
+import "fmt"
+
+// Graph is an undirected interconnect graph over nodes [0, N).
+type Graph struct {
+	// N is the node count.
+	N int
+	// Adj lists each node's neighbors, ascending, no self-loops.
+	Adj [][]int
+	// Name labels the topology in reports.
+	Name string
+}
+
+// Validate checks structural sanity and symmetry.
+func (g Graph) Validate() error {
+	if g.N <= 0 || len(g.Adj) != g.N {
+		return fmt.Errorf("convergence: graph %q has N=%d with %d adjacency rows", g.Name, g.N, len(g.Adj))
+	}
+	for i, nbrs := range g.Adj {
+		seen := make(map[int]bool, len(nbrs))
+		for _, j := range nbrs {
+			if j < 0 || j >= g.N {
+				return fmt.Errorf("convergence: node %d has invalid neighbor %d", i, j)
+			}
+			if j == i {
+				return fmt.Errorf("convergence: node %d has a self-loop", i)
+			}
+			if seen[j] {
+				return fmt.Errorf("convergence: node %d lists neighbor %d twice", i, j)
+			}
+			seen[j] = true
+			if !contains(g.Adj[j], i) {
+				return fmt.Errorf("convergence: edge %d->%d not symmetric", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDegree returns the largest node degree.
+func (g Graph) MaxDegree() int {
+	d := 0
+	for _, nbrs := range g.Adj {
+		if len(nbrs) > d {
+			d = len(nbrs)
+		}
+	}
+	return d
+}
+
+// Ring returns the n-node cycle — the slowest-mixing standard topology.
+func Ring(n int) Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("convergence: Ring(%d)", n))
+	}
+	g := Graph{N: n, Adj: make([][]int, n), Name: fmt.Sprintf("ring(%d)", n)}
+	for i := 0; i < n; i++ {
+		g.Adj[i] = []int{(i + n - 1) % n, (i + 1) % n}
+	}
+	return g
+}
+
+// Complete returns the n-node complete graph — one diffusion round
+// reaches near-perfect balance.
+func Complete(n int) Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("convergence: Complete(%d)", n))
+	}
+	g := Graph{N: n, Adj: make([][]int, n), Name: fmt.Sprintf("complete(%d)", n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i {
+				g.Adj[i] = append(g.Adj[i], j)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the 2^dim-node hypercube, the dimension-exchange
+// scheme's native topology.
+func Hypercube(dim int) Graph {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("convergence: Hypercube(%d)", dim))
+	}
+	n := 1 << dim
+	g := Graph{N: n, Adj: make([][]int, n), Name: fmt.Sprintf("hypercube(%d)", dim)}
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			g.Adj[i] = append(g.Adj[i], i^(1<<d))
+		}
+	}
+	return g
+}
+
+// Mesh returns the rows×cols grid (no wraparound).
+func Mesh(rows, cols int) Graph {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic(fmt.Sprintf("convergence: Mesh(%d, %d)", rows, cols))
+	}
+	n := rows * cols
+	g := Graph{N: n, Adj: make([][]int, n), Name: fmt.Sprintf("mesh(%dx%d)", rows, cols)}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := id(r, c)
+			if r > 0 {
+				g.Adj[i] = append(g.Adj[i], id(r-1, c))
+			}
+			if c > 0 {
+				g.Adj[i] = append(g.Adj[i], id(r, c-1))
+			}
+			if c < cols-1 {
+				g.Adj[i] = append(g.Adj[i], id(r, c+1))
+			}
+			if r < rows-1 {
+				g.Adj[i] = append(g.Adj[i], id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// DiffusionRound performs one synchronous first-order diffusion step
+// (FOS in Xu & Lau): every edge (i,j) moves ⌊α·(xᵢ−xⱼ)⌋ units downhill,
+// with the uniform diffusion parameter α = 1/(maxdeg+1) that guarantees
+// convergence on any graph. It returns the units moved; zero means a
+// fixpoint (balanced up to integer granularity).
+func DiffusionRound(g Graph, load []int64) int64 {
+	if len(load) != g.N {
+		panic(fmt.Sprintf("convergence: %d loads for %d nodes", len(load), g.N))
+	}
+	alpha := int64(g.MaxDegree() + 1)
+	delta := make([]int64, g.N)
+	var moved int64
+	for i, nbrs := range g.Adj {
+		for _, j := range nbrs {
+			if i < j { // each undirected edge once
+				flow := (load[i] - load[j]) / alpha
+				if flow > 0 {
+					delta[i] -= flow
+					delta[j] += flow
+					moved += flow
+				} else if flow < 0 {
+					delta[i] += -flow
+					delta[j] -= -flow
+					moved += -flow
+				}
+			}
+		}
+	}
+	for i := range load {
+		load[i] += delta[i]
+	}
+	return moved
+}
+
+// DimensionExchangeRound performs one full dimension-exchange sweep on a
+// hypercube of the given dimension: for each dimension d in order, every
+// node pairs with its d-neighbor and the pair averages (the heavier side
+// keeps the odd unit). One sweep reaches exact balance up to integer
+// rounding — the classical O(log n) result.
+func DimensionExchangeRound(dim int, load []int64) int64 {
+	n := 1 << dim
+	if len(load) != n {
+		panic(fmt.Sprintf("convergence: %d loads for hypercube(%d)", len(load), dim))
+	}
+	var moved int64
+	for d := 0; d < dim; d++ {
+		bit := 1 << d
+		for i := 0; i < n; i++ {
+			j := i ^ bit
+			if i > j {
+				continue
+			}
+			sum := load[i] + load[j]
+			hi, lo := sum/2+sum%2, sum/2
+			var a, b int64
+			if load[i] >= load[j] {
+				a, b = hi, lo
+			} else {
+				a, b = lo, hi
+			}
+			if a != load[i] {
+				diff := load[i] - a
+				if diff < 0 {
+					diff = -diff
+				}
+				moved += diff
+			}
+			load[i], load[j] = a, b
+		}
+	}
+	return moved
+}
+
+// DiffusionRoundFloat is the real-valued first-order diffusion step —
+// the object Xu & Lau's spectral analysis actually bounds (integer
+// diffusion stalls at a rounding residue; the real scheme converges
+// geometrically at the graph's mixing rate). Every edge moves
+// α·(xᵢ−xⱼ) with α = 1/(maxdeg+1).
+func DiffusionRoundFloat(g Graph, load []float64) {
+	if len(load) != g.N {
+		panic(fmt.Sprintf("convergence: %d loads for %d nodes", len(load), g.N))
+	}
+	alpha := 1.0 / float64(g.MaxDegree()+1)
+	delta := make([]float64, g.N)
+	for i, nbrs := range g.Adj {
+		for _, j := range nbrs {
+			if i < j {
+				flow := alpha * (load[i] - load[j])
+				delta[i] -= flow
+				delta[j] += flow
+			}
+		}
+	}
+	for i := range load {
+		load[i] += delta[i]
+	}
+}
+
+// ImbalanceFloat returns max(load) − min(load).
+func ImbalanceFloat(load []float64) float64 {
+	lo, hi := load[0], load[0]
+	for _, v := range load[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// RoundsToFloat iterates step until ImbalanceFloat(load) ≤ tol, up to
+// maxRounds (sentinel maxRounds+1 when not reached).
+func RoundsToFloat(step func([]float64), load []float64, tol float64, maxRounds int) int {
+	for r := 0; r <= maxRounds; r++ {
+		if ImbalanceFloat(load) <= tol {
+			return r
+		}
+		step(load)
+	}
+	return maxRounds + 1
+}
+
+// SpikeLoadFloat is SpikeLoad for the real-valued scheme.
+func SpikeLoadFloat(n int, total float64) []float64 {
+	load := make([]float64, n)
+	load[0] = total
+	return load
+}
+
+// Imbalance returns max(load) − min(load).
+func Imbalance(load []int64) int64 {
+	lo, hi := load[0], load[0]
+	for _, v := range load[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Total sums the loads (conservation checks).
+func Total(load []int64) int64 {
+	var s int64
+	for _, v := range load {
+		s += v
+	}
+	return s
+}
+
+// RoundsTo iterates step until Imbalance(load) ≤ tol or step moves
+// nothing or maxRounds is hit, returning the rounds taken (maxRounds+1
+// when not converged — a sentinel the caller can test).
+func RoundsTo(step func([]int64) int64, load []int64, tol int64, maxRounds int) int {
+	for r := 0; r <= maxRounds; r++ {
+		if Imbalance(load) <= tol {
+			return r
+		}
+		if step(load) == 0 {
+			return maxRounds + 1 // stuck above tolerance
+		}
+	}
+	return maxRounds + 1
+}

@@ -1,0 +1,199 @@
+package convergence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+)
+
+func TestGraphBuilders(t *testing.T) {
+	for _, g := range []Graph{Ring(5), Complete(4), Hypercube(3), Mesh(2, 3), Mesh(1, 4)} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+	if got := Ring(5).MaxDegree(); got != 2 {
+		t.Errorf("ring degree = %d", got)
+	}
+	if got := Complete(4).MaxDegree(); got != 3 {
+		t.Errorf("complete degree = %d", got)
+	}
+	if got := Hypercube(3).MaxDegree(); got != 3 {
+		t.Errorf("hypercube degree = %d", got)
+	}
+	if got := Mesh(3, 3).MaxDegree(); got != 4 {
+		t.Errorf("mesh degree = %d", got)
+	}
+}
+
+func TestGraphBuilderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ring":      func() { Ring(2) },
+		"complete":  func() { Complete(1) },
+		"hypercube": func() { Hypercube(0) },
+		"mesh":      func() { Mesh(1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestGraphValidateCatchesAsymmetry(t *testing.T) {
+	g := Ring(4)
+	g.Adj[0] = []int{1} // drop the 0-3 back edge
+	if g.Validate() == nil {
+		t.Error("asymmetric graph accepted")
+	}
+	g2 := Ring(4)
+	g2.Adj[0] = append(g2.Adj[0], 0)
+	if g2.Validate() == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestDiffusionConvergesOnEveryTopology(t *testing.T) {
+	for _, g := range []Graph{Ring(8), Complete(8), Hypercube(3), Mesh(2, 4)} {
+		load := SpikeLoad(g.N, 64)
+		total := Total(load)
+		// Integer diffusion stalls once every *neighbor* gap is below
+		// maxdeg+1, leaving a residual global imbalance of up to
+		// (maxdeg) x diameter — tolerate that.
+		tol := int64((g.MaxDegree() + 1) * g.N)
+		rounds := RoundsTo(func(l []int64) int64 { return DiffusionRound(g, l) }, load, tol, 10_000)
+		if rounds > 10_000 {
+			t.Errorf("%s: diffusion did not converge; final %v", g.Name, load)
+		}
+		if Total(load) != total {
+			t.Errorf("%s: load not conserved: %d -> %d", g.Name, total, Total(load))
+		}
+	}
+}
+
+func TestDiffusionSpeedOrdering(t *testing.T) {
+	// The Xu & Lau shape result: complete mixes fastest, ring slowest,
+	// hypercube in between, for the same spike.
+	rounds := func(g Graph) int {
+		load := SpikeLoad(g.N, 128)
+		return RoundsTo(func(l []int64) int64 { return DiffusionRound(g, l) }, load, 8, 100_000)
+	}
+	ring := rounds(Ring(8))
+	cube := rounds(Hypercube(3))
+	comp := rounds(Complete(8))
+	t.Logf("diffusion rounds to imbalance<=8 on n=8: ring=%d hypercube=%d complete=%d", ring, cube, comp)
+	if !(comp <= cube && cube <= ring) {
+		t.Errorf("speed ordering violated: complete=%d hypercube=%d ring=%d", comp, cube, ring)
+	}
+	if ring <= comp {
+		t.Errorf("ring (%d) should be strictly slower than complete (%d)", ring, comp)
+	}
+}
+
+func TestDimensionExchangeBalancesInOneSweep(t *testing.T) {
+	// The classical result: one full sweep reaches balance up to ±1.
+	load := SpikeLoad(8, 80)
+	moved := DimensionExchangeRound(3, load)
+	if moved == 0 {
+		t.Fatal("sweep moved nothing")
+	}
+	if Imbalance(load) > 1 {
+		t.Errorf("imbalance after one sweep = %d, want <= 1 (%v)", Imbalance(load), load)
+	}
+	if Total(load) != 80 {
+		t.Errorf("total = %d", Total(load))
+	}
+}
+
+func TestDimensionExchangeExactWhenDivisible(t *testing.T) {
+	load := SpikeLoad(4, 64) // 64/4 = 16 each
+	DimensionExchangeRound(2, load)
+	for i, v := range load {
+		if v != 16 {
+			t.Fatalf("load[%d] = %d, want 16 (%v)", i, v, load)
+		}
+	}
+}
+
+func TestStealingRoundsMatchesModel(t *testing.T) {
+	p := policy.NewDelta2()
+	// Spike on one core: work conservation is immediate concern; full
+	// ±1 balance takes longer.
+	wc := WorkConservationRounds(p, SpikeLoad(8, 32), 1000)
+	full := StealingRounds(p, SpikeLoad(8, 32), 1, 1000)
+	t.Logf("delta2 on spike(8, 32): WC in %d rounds, ±1 balance in %d", wc, full)
+	if wc > full {
+		t.Errorf("WC (%d) cannot take longer than full balance (%d)", wc, full)
+	}
+	if wc == 0 || full > 1000 {
+		t.Errorf("unexpected rounds: wc=%d full=%d", wc, full)
+	}
+}
+
+func TestStealingBalancedStartNeedsZeroRounds(t *testing.T) {
+	p := policy.NewDelta2()
+	if got := WorkConservationRounds(p, []int64{1, 1, 1, 1}, 10); got != 0 {
+		t.Errorf("rounds = %d, want 0", got)
+	}
+}
+
+func TestRoundsToStuckSentinel(t *testing.T) {
+	// A step that never moves anything must return the sentinel.
+	load := []int64{5, 0}
+	got := RoundsTo(func([]int64) int64 { return 0 }, load, 1, 50)
+	if got != 51 {
+		t.Errorf("RoundsTo = %d, want sentinel 51", got)
+	}
+}
+
+func TestImbalanceAndTotal(t *testing.T) {
+	load := []int64{3, 7, 1}
+	if Imbalance(load) != 6 {
+		t.Errorf("Imbalance = %d", Imbalance(load))
+	}
+	if Total(load) != 11 {
+		t.Errorf("Total = %d", Total(load))
+	}
+}
+
+// Property: diffusion conserves total load and never increases imbalance,
+// on arbitrary small vectors over a ring.
+func TestDiffusionMonotoneProperty(t *testing.T) {
+	g := Ring(6)
+	f := func(raw [6]uint8) bool {
+		load := make([]int64, 6)
+		for i, r := range raw {
+			load[i] = int64(r % 32)
+		}
+		total := Total(load)
+		before := Imbalance(load)
+		DiffusionRound(g, load)
+		return Total(load) == total && Imbalance(load) <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dimension exchange always reaches imbalance <= dim after one
+// sweep (each pairwise averaging leaves at most 1 unit of residue per
+// dimension), conserving totals.
+func TestDimensionExchangeProperty(t *testing.T) {
+	f := func(raw [8]uint8) bool {
+		load := make([]int64, 8)
+		for i, r := range raw {
+			load[i] = int64(r % 64)
+		}
+		total := Total(load)
+		DimensionExchangeRound(3, load)
+		return Total(load) == total && Imbalance(load) <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

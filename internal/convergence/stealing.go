@@ -1,0 +1,90 @@
+package convergence
+
+import (
+	"repro/internal/sched"
+)
+
+// This file bridges the Xu & Lau iterative schemes and the paper's
+// work-stealing rounds, so experiment E9 can compare their convergence
+// speeds on the same initial load vectors.
+
+// StealingRounds runs optimistic concurrent rounds of the given policy
+// from the initial load vector until the machine is work-conserved
+// (tol = "no idle while overloaded") or fully balanced (tol as a max−min
+// bound on thread counts), whichever predicate `balanced` encodes.
+// It returns the rounds taken, with maxRounds+1 as the not-converged
+// sentinel. Orders rotate deterministically so repeated conflicts do not
+// depend on a hidden RNG.
+func StealingRounds(p sched.Policy, loads []int64, tol int64, maxRounds int) int {
+	ints := make([]int, len(loads))
+	for i, v := range loads {
+		ints[i] = int(v)
+	}
+	m := sched.MachineFromLoads(ints...)
+	n := m.NumCores()
+	order := make([]int, n)
+	for r := 0; r <= maxRounds; r++ {
+		if machineImbalance(m) <= tol {
+			return r
+		}
+		// Rotate the steal order each round: a deterministic adversary
+		// weaker than the verifier's exhaustive one, but enough to
+		// exercise conflicts.
+		for i := range order {
+			order[i] = (i + r) % n
+		}
+		rr := sched.ConcurrentRound(p, m, order)
+		if rr.TasksMoved() == 0 {
+			if machineImbalance(m) <= tol {
+				return r + 1
+			}
+			return maxRounds + 1
+		}
+	}
+	return maxRounds + 1
+}
+
+// WorkConservationRounds counts rounds until no core is idle while
+// another is overloaded — the paper's N.
+func WorkConservationRounds(p sched.Policy, loads []int64, maxRounds int) int {
+	ints := make([]int, len(loads))
+	for i, v := range loads {
+		ints[i] = int(v)
+	}
+	m := sched.MachineFromLoads(ints...)
+	n := m.NumCores()
+	order := make([]int, n)
+	for r := 0; r <= maxRounds; r++ {
+		if m.WorkConserved() {
+			return r
+		}
+		for i := range order {
+			order[i] = (i + r) % n
+		}
+		sched.ConcurrentRound(p, m, order)
+	}
+	return maxRounds + 1
+}
+
+func machineImbalance(m *sched.Machine) int64 {
+	loads := m.Loads()
+	lo, hi := loads[0], loads[0]
+	for _, v := range loads[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return int64(hi - lo)
+}
+
+// SpikeLoad builds the worst-case initial vector for n nodes: all
+// `total` units on node 0 — the fork-burst that stresses convergence
+// speed the most.
+func SpikeLoad(n int, total int64) []int64 {
+	load := make([]int64, n)
+	load[0] = total
+	return load
+}

@@ -1,0 +1,156 @@
+package dsl
+
+import "strings"
+
+// exprContext says which core roots an expression may reference.
+type exprContext int8
+
+const (
+	ctxLoad   exprContext = iota // roots: self / core (the measured core)
+	ctxFilter                    // roots: self / thief, stealee
+)
+
+// checkPolicy type-checks the policy and resolves attribute paths.
+func checkPolicy(p *Policy) error {
+	if err := check(p.Load, ctxLoad, typInt); err != nil {
+		return err
+	}
+	if err := check(p.Filter, ctxFilter, typBool); err != nil {
+		return err
+	}
+	if err := check(p.Steal, ctxFilter, typInt); err != nil {
+		return err
+	}
+	return nil
+}
+
+// check verifies e has type want in context ctx, annotating nodes.
+func check(e expr, ctx exprContext, want typ) error {
+	got, err := infer(e, ctx)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return errf(0, 0, "expression %s has type %s, want %s", e, got, want)
+	}
+	return nil
+}
+
+func infer(e expr, ctx exprContext) (typ, error) {
+	switch n := e.(type) {
+	case *intLit:
+		return typInt, nil
+	case *boolLit:
+		return typBool, nil
+	case *attrRef:
+		return typInt, resolveAttr(n, ctx)
+	case *unary:
+		t, err := infer(n.x, ctx)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "-":
+			if t != typInt {
+				return 0, errf(0, 0, "operator - needs an int, got %s in %s", t, e)
+			}
+			n.t = typInt
+		case "!":
+			if t != typBool {
+				return 0, errf(0, 0, "operator ! needs a bool, got %s in %s", t, e)
+			}
+			n.t = typBool
+		}
+		return n.t, nil
+	case *binary:
+		lt, err := infer(n.l, ctx)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := infer(n.r, ctx)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "&&", "||":
+			if lt != typBool || rt != typBool {
+				return 0, errf(n.line, n.col, "operator %s needs bools, got %s and %s", n.op, lt, rt)
+			}
+			n.t = typBool
+		case "==", "!=", "<", "<=", ">", ">=":
+			if lt != typInt || rt != typInt {
+				return 0, errf(n.line, n.col, "comparison %s needs ints, got %s and %s", n.op, lt, rt)
+			}
+			n.t = typBool
+		default: // + - * / %
+			if lt != typInt || rt != typInt {
+				return 0, errf(n.line, n.col, "operator %s needs ints, got %s and %s", n.op, lt, rt)
+			}
+			n.t = typInt
+		}
+		return n.t, nil
+	}
+	return 0, errf(0, 0, "unknown expression node %T", e)
+}
+
+// resolveAttr binds a dotted path to (root, attribute).
+func resolveAttr(ref *attrRef, ctx exprContext) error {
+	path := ref.path
+	if len(path) == 0 {
+		return errf(ref.line, ref.col, "empty path")
+	}
+	// Determine the root.
+	switch path[0] {
+	case "self", "core", "thief":
+		if ctx == ctxLoad && path[0] == "thief" {
+			return errf(ref.line, ref.col, "`thief` is not available in the load clause; use `self`")
+		}
+		ref.root = rootSelf
+		path = path[1:]
+	case "stealee", "victim":
+		if ctx == ctxLoad {
+			return errf(ref.line, ref.col, "`%s` is not available in the load clause", ref.path[0])
+		}
+		ref.root = rootStealee
+		path = path[1:]
+	default:
+		// Bare attribute: refers to the measured core in load context.
+		if ctx != ctxLoad {
+			return errf(ref.line, ref.col,
+				"path %q must start with thief/self or stealee in this clause", strings.Join(ref.path, "."))
+		}
+		ref.root = rootSelf
+	}
+	attr, ok := attrFromPath(path)
+	if !ok {
+		return errf(ref.line, ref.col, "unknown core attribute %q (known: load, nthreads, ready.size, current.size, weight.sum, id, group, node)",
+			strings.Join(path, "."))
+	}
+	if attr == attrLoad && ctx == ctxLoad {
+		return errf(ref.line, ref.col, "the load clause cannot reference `load` (it defines it)")
+	}
+	ref.attr = attr
+	return nil
+}
+
+func attrFromPath(path []string) (coreAttr, bool) {
+	switch strings.Join(path, ".") {
+	case "load":
+		return attrLoad, true
+	case "nthreads", "threads":
+		return attrNThreads, true
+	case "ready.size", "ready_size", "nready":
+		return attrReadySize, true
+	case "current.size", "current_size", "running":
+		return attrCurrent, true
+	case "weight.sum", "weight_sum", "weightsum":
+		return attrWeightSum, true
+	case "id":
+		return attrID, true
+	case "group":
+		return attrGroup, true
+	case "node":
+		return attrNode, true
+	}
+	return 0, false
+}

@@ -1,0 +1,104 @@
+package dsl
+
+import "strings"
+
+// lexer turns policy source into tokens. '#' starts a comment running to
+// end of line; whitespace separates tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// twoCharOps are the multi-character operators, checked before single
+// characters.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+const singleOps = "{}()=+-*/%<>!.,"
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.advance()
+		}
+		return token{kind: tokInt, text: strings.ReplaceAll(l.src[start:l.pos], "_", ""), line: line, col: col}, nil
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: op, line: line, col: col}, nil
+		}
+	}
+	if strings.IndexByte(singleOps, c) >= 0 {
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// lexAll tokenizes the whole source (used by the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package engine is a concurrent work-stealing executor that runs the
+// paper's three-step balancing protocol under real Go concurrency: one
+// goroutine per worker, a locked per-worker runqueue, and an optimistic
+// balancer — the selection phase (filter + choose) reads only atomically
+// published load counters without taking any lock, and the stealing phase
+// locks exactly the two runqueues involved and re-validates the filter
+// before migrating work (Listing 1 line 12).
+//
+// It is the repository's stand-in for the paper's kernel scheduling
+// class: where internal/verify proves the protocol's work conservation on
+// the model, this package demonstrates the same protocol running
+// race-detector-clean with real lock contention and stale observations.
+// Unlike the kernel's periodic 4ms rounds, the executor balances when a
+// worker runs out of local work (steal-on-idle), the standard adaptation
+// for userspace work-stealing runtimes.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Task is a unit of work.
+type Task func()
+
+// Factory builds one policy instance per worker; instances must not be
+// shared because policies may carry per-round caches.
+type Factory func() sched.Policy
+
+// Pool is the work-stealing executor.
+type Pool struct {
+	workers []*worker
+	closed  atomic.Bool
+	inflt   atomic.Int64 // submitted but not finished tasks
+	wg      sync.WaitGroup
+	next    atomic.Uint64 // round-robin submission cursor
+
+	executed   atomic.Int64
+	steals     atomic.Int64
+	stealFails atomic.Int64
+}
+
+// worker is one executor lane.
+type worker struct {
+	id     int
+	group  int
+	pool   *Pool
+	policy sched.Policy
+
+	mu      sync.Mutex
+	queue   []Task
+	running atomic.Bool
+	qlen    atomic.Int64 // published queue length for lock-free selection
+}
+
+// Options configures optional pool behaviour.
+type Options struct {
+	// Groups assigns workers to scheduling groups (defaults to all 0).
+	Groups []int
+	// IdleSleep is the idle worker's poll interval (default 50µs).
+	IdleSleep time.Duration
+}
+
+// NewPool starts n workers using policies from factory.
+func NewPool(n int, factory Factory, opts Options) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("engine: NewPool(%d)", n))
+	}
+	if factory == nil {
+		panic("engine: nil policy factory")
+	}
+	if opts.Groups != nil && len(opts.Groups) != n {
+		panic(fmt.Sprintf("engine: %d groups for %d workers", len(opts.Groups), n))
+	}
+	if opts.IdleSleep <= 0 {
+		opts.IdleSleep = 50 * time.Microsecond
+	}
+	p := &Pool{workers: make([]*worker, n)}
+	for i := range p.workers {
+		g := 0
+		if opts.Groups != nil {
+			g = opts.Groups[i]
+		}
+		p.workers[i] = &worker{id: i, group: g, pool: p, policy: factory()}
+	}
+	for _, w := range p.workers {
+		go w.run(opts.IdleSleep)
+	}
+	return p
+}
+
+// Submit enqueues a task on the next worker round-robin.
+func (p *Pool) Submit(t Task) {
+	p.SubmitTo(int(p.next.Add(1)-1)%len(p.workers), t)
+}
+
+// SubmitTo enqueues a task on a specific worker — how the benchmarks
+// create the skewed placements the balancer must fix.
+func (p *Pool) SubmitTo(id int, t Task) {
+	if t == nil {
+		panic("engine: Submit(nil)")
+	}
+	if p.closed.Load() {
+		panic("engine: Submit on closed pool")
+	}
+	w := p.workers[id]
+	p.inflt.Add(1)
+	p.wg.Add(1)
+	w.mu.Lock()
+	w.queue = append(w.queue, t)
+	w.qlen.Store(int64(len(w.queue)))
+	w.mu.Unlock()
+}
+
+// Wait blocks until every submitted task has executed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close stops the workers after the queues drain. The pool cannot be
+// reused.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+}
+
+// Stats is a snapshot of the pool's counters.
+type Stats struct {
+	// Executed counts completed tasks.
+	Executed int64
+	// Steals counts migrated tasks; StealFails counts optimistic
+	// attempts that failed re-validation.
+	Steals, StealFails int64
+}
+
+// Stats returns the current counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Executed:   p.executed.Load(),
+		Steals:     p.steals.Load(),
+		StealFails: p.stealFails.Load(),
+	}
+}
+
+// run is the worker main loop.
+func (w *worker) run(idleSleep time.Duration) {
+	for {
+		t := w.popLocal()
+		if t == nil {
+			t = w.stealWork()
+		}
+		if t == nil {
+			if w.pool.closed.Load() && w.pool.inflt.Load() == 0 {
+				return
+			}
+			time.Sleep(idleSleep)
+			continue
+		}
+		w.running.Store(true)
+		t()
+		w.running.Store(false)
+		w.pool.executed.Add(1)
+		w.pool.inflt.Add(-1)
+		w.pool.wg.Done()
+	}
+}
+
+// popLocal takes the head of the worker's own queue.
+func (w *worker) popLocal() Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.queue) == 0 {
+		return nil
+	}
+	t := w.queue[0]
+	w.queue[0] = nil
+	w.queue = w.queue[1:]
+	if len(w.queue) == 0 {
+		w.queue = nil // release the drifting backing array
+	}
+	w.qlen.Store(int64(len(w.queue)))
+	return t
+}
+
+// stealWork runs one three-step balancing round on behalf of this worker:
+// lock-free selection over published counters, then a locked re-validated
+// steal from the chosen victim. It returns one task to run immediately
+// (the rest of the stolen batch goes on the local queue).
+func (w *worker) stealWork() Task {
+	// Step 1+2: selection against a lock-free snapshot.
+	views := w.pool.snapshot()
+	att := sched.Select(w.policy, views, w.id)
+	if att.Victim < 0 {
+		return nil
+	}
+	victim := w.pool.workers[att.Victim]
+
+	// Step 3: lock both runqueues in ID order (deadlock freedom), then
+	// re-validate the optimistic decision against live state.
+	first, second := w, victim
+	if victim.id < w.id {
+		first, second = victim, w
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	defer first.mu.Unlock()
+
+	thiefView := w.liveViewLocked()
+	victimView := victim.liveViewLocked()
+	if !w.policy.CanSteal(thiefView, victimView) {
+		w.pool.stealFails.Add(1)
+		return nil
+	}
+	n := w.policy.StealCount(thiefView, victimView)
+	if n <= 0 || len(victim.queue) == 0 {
+		w.pool.stealFails.Add(1)
+		return nil
+	}
+	if n > len(victim.queue) {
+		n = len(victim.queue)
+	}
+	// Transfer from the victim's tail, keeping its head (oldest) local.
+	cut := len(victim.queue) - n
+	stolen := make([]Task, n)
+	copy(stolen, victim.queue[cut:])
+	for i := cut; i < len(victim.queue); i++ {
+		victim.queue[i] = nil
+	}
+	victim.queue = victim.queue[:cut]
+	victim.qlen.Store(int64(cut))
+
+	w.queue = append(w.queue, stolen[1:]...)
+	w.qlen.Store(int64(len(w.queue)))
+	w.pool.steals.Add(int64(n))
+	return stolen[0]
+}
+
+// snapshot builds the lock-free selection view: one model core per
+// worker, populated from atomically published counters only. The Ready
+// slices alias a shared immutable array of placeholder tasks, so the
+// policy sees correct lengths and unit weights without copying queues.
+func (p *Pool) snapshot() *sched.Machine {
+	m := &sched.Machine{Cores: make([]*sched.Core, len(p.workers))}
+	for i, w := range p.workers {
+		m.Cores[i] = w.viewAt(w.qlen.Load(), w.running.Load())
+	}
+	return m
+}
+
+// liveViewLocked builds a view from the worker's live state; the caller
+// holds w.mu.
+func (w *worker) liveViewLocked() *sched.Core {
+	return w.viewAt(int64(len(w.queue)), w.running.Load())
+}
+
+func (w *worker) viewAt(qlen int64, running bool) *sched.Core {
+	c := &sched.Core{ID: w.id, Group: w.group, Node: w.group, Ready: placeholders(int(qlen))}
+	if running {
+		c.Current = placeholderTask
+	}
+	return c
+}
+
+// placeholderTask is the shared unit-weight stand-in for executor tasks
+// in policy views.
+var placeholderTask = sched.NewTask(-1)
+
+// placeholderPool is an immutable, monotonically grown slice of pointers
+// to placeholderTask; placeholders(n) returns a length-n prefix without
+// allocating in the common case.
+var placeholderPool atomic.Value // []*sched.Task
+
+var placeholderMu sync.Mutex
+
+func placeholders(n int) []*sched.Task {
+	if n == 0 {
+		return nil
+	}
+	cur, _ := placeholderPool.Load().([]*sched.Task)
+	if n <= len(cur) {
+		return cur[:n]
+	}
+	placeholderMu.Lock()
+	defer placeholderMu.Unlock()
+	cur, _ = placeholderPool.Load().([]*sched.Task)
+	if n <= len(cur) {
+		return cur[:n]
+	}
+	grown := make([]*sched.Task, n*2)
+	for i := range grown {
+		grown[i] = placeholderTask
+	}
+	placeholderPool.Store(grown)
+	return grown[:n]
+}

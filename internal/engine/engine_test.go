@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+func delta2Factory() sched.Policy { return policy.NewDelta2() }
+
+func TestAllTasksExecute(t *testing.T) {
+	p := NewPool(4, delta2Factory, Options{})
+	defer p.Close()
+	var count atomic.Int64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		p.Submit(func() { count.Add(1) })
+	}
+	p.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("executed %d of %d", got, n)
+	}
+	if got := p.Stats().Executed; got != n {
+		t.Errorf("Stats.Executed = %d", got)
+	}
+}
+
+func TestSkewedSubmissionGetsStolen(t *testing.T) {
+	p := NewPool(4, delta2Factory, Options{})
+	defer p.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		p.SubmitTo(0, func() {
+			time.Sleep(200 * time.Microsecond)
+		})
+	}
+	p.Wait()
+	st := p.Stats()
+	if st.Steals == 0 {
+		t.Error("no steals despite all work submitted to worker 0")
+	}
+	if st.Executed != n {
+		t.Errorf("Executed = %d, want %d", st.Executed, n)
+	}
+}
+
+func TestStealFailuresUnderContention(t *testing.T) {
+	// Many workers fighting over one short queue must sometimes lose the
+	// race between selection and steal — the optimistic failures of
+	// §3.1. Run several rounds to make the race overwhelmingly likely.
+	p := NewPool(8, delta2Factory, Options{})
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 16; i++ {
+			p.SubmitTo(0, func() { time.Sleep(20 * time.Microsecond) })
+		}
+		p.Wait()
+	}
+	st := p.Stats()
+	t.Logf("steals=%d fails=%d", st.Steals, st.StealFails)
+	if st.Steals == 0 {
+		t.Error("no steals")
+	}
+}
+
+func TestNullPolicyNeverSteals(t *testing.T) {
+	p := NewPool(4, func() sched.Policy { return policy.NewNull() }, Options{})
+	defer p.Close()
+	var count atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.SubmitTo(0, func() { count.Add(1) })
+	}
+	p.Wait()
+	if count.Load() != 100 {
+		t.Fatalf("executed %d", count.Load())
+	}
+	if st := p.Stats(); st.Steals != 0 {
+		t.Errorf("null policy stole %d tasks", st.Steals)
+	}
+}
+
+func TestSubmitFromManyGoroutines(t *testing.T) {
+	p := NewPool(4, delta2Factory, Options{})
+	defer p.Close()
+	var count atomic.Int64
+	const producers, each = 8, 200
+	doneProducing := make(chan struct{})
+	for g := 0; g < producers; g++ {
+		go func() {
+			for i := 0; i < each; i++ {
+				p.Submit(func() { count.Add(1) })
+			}
+			doneProducing <- struct{}{}
+		}()
+	}
+	for g := 0; g < producers; g++ {
+		<-doneProducing
+	}
+	p.Wait()
+	if got := count.Load(); got != producers*each {
+		t.Fatalf("executed %d of %d", got, producers*each)
+	}
+}
+
+func TestTasksRunAfterClose(t *testing.T) {
+	p := NewPool(2, delta2Factory, Options{})
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { count.Add(1) })
+	}
+	p.Close() // close with work still queued: it must still drain
+	p.Wait()
+	if count.Load() != 50 {
+		t.Fatalf("executed %d of 50", count.Load())
+	}
+}
+
+func TestSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool(1, delta2Factory, Options{})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Close did not panic")
+		}
+	}()
+	p.Submit(func() {})
+}
+
+func TestPoolValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero workers": func() { NewPool(0, delta2Factory, Options{}) },
+		"nil factory":  func() { NewPool(1, nil, Options{}) },
+		"bad groups":   func() { NewPool(2, delta2Factory, Options{Groups: []int{0}}) },
+		"nil task": func() {
+			p := NewPool(1, delta2Factory, Options{})
+			defer p.Close()
+			p.Submit(nil)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestGroupsReachPolicyViews(t *testing.T) {
+	// A policy that records the groups it sees in views.
+	type probe struct {
+		*policy.Delta2
+		sawGroup atomic.Int64
+	}
+	pr := &probe{Delta2: policy.NewDelta2()}
+	factory := func() sched.Policy {
+		return &sched.FuncPolicy{
+			PolicyName: "probe",
+			LoadFn:     func(c *sched.Core) int64 { return int64(c.NThreads()) },
+			FilterFn: func(thief, stealee *sched.Core) bool {
+				if stealee.Group == 1 {
+					pr.sawGroup.Store(1)
+				}
+				return pr.Delta2.CanSteal(thief, stealee)
+			},
+		}
+	}
+	p := NewPool(2, factory, Options{Groups: []int{0, 1}})
+	defer p.Close()
+	for i := 0; i < 50; i++ {
+		p.SubmitTo(1, func() { time.Sleep(50 * time.Microsecond) })
+	}
+	p.Wait()
+	if pr.sawGroup.Load() != 1 {
+		t.Error("policy views never carried group information")
+	}
+}
+
+func TestFIFOWithinWorkerWithoutStealing(t *testing.T) {
+	p := NewPool(1, func() sched.Policy { return policy.NewNull() }, Options{})
+	defer p.Close()
+	var order []int
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	for i := 0; i < 20; i++ {
+		p.SubmitTo(0, func() {
+			<-mu
+			order = append(order, i)
+			mu <- struct{}{}
+		})
+	}
+	p.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("single worker executed out of order: %v", order)
+		}
+	}
+}
+
+func TestPlaceholders(t *testing.T) {
+	a := placeholders(0)
+	if a != nil {
+		t.Error("placeholders(0) should be nil")
+	}
+	b := placeholders(10)
+	if len(b) != 10 {
+		t.Fatalf("len = %d", len(b))
+	}
+	c := placeholders(5)
+	if len(c) != 5 {
+		t.Fatalf("len = %d", len(c))
+	}
+	for _, task := range b {
+		if task != placeholderTask {
+			t.Fatal("placeholder slice contains a foreign task")
+		}
+	}
+	big := placeholders(10_000)
+	if len(big) != 10_000 {
+		t.Fatalf("len = %d", len(big))
+	}
+}
+
+func TestHierarchicalPolicyInPool(t *testing.T) {
+	// Per-worker policy instances mean RoundObserver caches don't race.
+	p := NewPool(4, func() sched.Policy { return policy.NewHierarchical() },
+		Options{Groups: []int{0, 0, 1, 1}})
+	defer p.Close()
+	var count atomic.Int64
+	for i := 0; i < 300; i++ {
+		p.SubmitTo(2, func() {
+			time.Sleep(100 * time.Microsecond)
+			count.Add(1)
+		})
+	}
+	p.Wait()
+	if count.Load() != 300 {
+		t.Fatalf("executed %d of 300", count.Load())
+	}
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1Lemma1Shape(t *testing.T) {
+	r := E1Lemma1()
+	out := r.Table.String()
+	// The sound policies must be proved, the CFS model refuted.
+	for _, frag := range []string{"delta2", "weighted", "hierarchical", "cfs-group-buggy"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+	if !rowVerdict(out, "cfs-group-buggy", "REFUTED") {
+		t.Errorf("cfs-group-buggy should be refuted:\n%s", out)
+	}
+	if !rowVerdict(out, "delta2", "PROVED") {
+		t.Errorf("delta2 should be proved:\n%s", out)
+	}
+	// The paper's subtle point: greedy *passes* Lemma 1.
+	if !rowVerdict(out, "greedy-buggy", "PROVED") {
+		t.Errorf("greedy-buggy should pass Lemma 1:\n%s", out)
+	}
+}
+
+func rowVerdict(table, policy, verdict string) bool {
+	for _, line := range strings.Split(table, "\n") {
+		if strings.HasPrefix(line, policy+" ") || strings.HasPrefix(line, policy+"  ") {
+			return strings.Contains(line, verdict)
+		}
+	}
+	return false
+}
+
+func TestE2SequentialShape(t *testing.T) {
+	r := E2SequentialConvergence()
+	out := r.Table.String()
+	// Everything passes sequentially, including greedy.
+	if strings.Contains(out, "REFUTED") {
+		t.Errorf("no policy should fail sequential WC:\n%s", out)
+	}
+	if !strings.Contains(out, "greedy-buggy") {
+		t.Errorf("greedy row missing:\n%s", out)
+	}
+}
+
+func TestE3CounterexampleShape(t *testing.T) {
+	r := E3Counterexample()
+	out := r.Table.String()
+	if !rowVerdict(out, "delta2", "PROVED") {
+		t.Errorf("delta2 should pass concurrent WC:\n%s", out)
+	}
+	if !rowVerdict(out, "greedy-buggy", "REFUTED") {
+		t.Errorf("greedy should fail concurrent WC:\n%s", out)
+	}
+	foundWitness := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "livelock") {
+			foundWitness = true
+		}
+	}
+	if !foundWitness {
+		t.Errorf("notes lack the livelock witness: %v", r.Notes)
+	}
+}
+
+func TestE4PotentialShape(t *testing.T) {
+	r := E4Potential()
+	out := r.Table.String()
+	if !rowVerdict(out, "delta2", "PROVED") || !rowVerdict(out, "weighted", "PROVED") {
+		t.Errorf("sound policies should pass potential decrease:\n%s", out)
+	}
+	if !rowVerdict(out, "greedy-buggy", "REFUTED") || !rowVerdict(out, "delta1-aggressive", "REFUTED") {
+		t.Errorf("unsound policies should fail potential decrease:\n%s", out)
+	}
+}
+
+func TestE5RoundCostShape(t *testing.T) {
+	r := E5RoundCost()
+	out := r.Table.String()
+	for _, cores := range []string{"4", "16", "64"} {
+		if !strings.Contains(out, cores) {
+			t.Errorf("missing %s-core row:\n%s", cores, out)
+		}
+	}
+	if !strings.Contains(out, "x") {
+		t.Errorf("missing overhead ratio:\n%s", out)
+	}
+}
+
+func TestE6WastedCoresShape(t *testing.T) {
+	r := E6WastedCores()
+	out := r.Table.String()
+	// Null must be the worst; buggy must lose vs weighted.
+	if !strings.Contains(out, "cfs-group-buggy") || !strings.Contains(out, "null") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	// Check the loss column shows a meaningful db loss for the bug.
+	foundLoss := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cfs-group-buggy") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && strings.HasSuffix(fields[2], "%") {
+				foundLoss = true
+			}
+		}
+	}
+	if !foundLoss {
+		t.Errorf("no db loss percentage for cfs-group-buggy:\n%s", out)
+	}
+}
+
+func TestE7HierarchicalShape(t *testing.T) {
+	r := E7Hierarchical()
+	out := r.Table.String()
+	if strings.Contains(out, "REFUTED") {
+		t.Errorf("hierarchical obligations should all pass:\n%s", out)
+	}
+	if !strings.Contains(out, "steal locality") {
+		t.Errorf("locality rows missing:\n%s", out)
+	}
+}
+
+func TestE8ConcurrentShape(t *testing.T) {
+	r := E8Concurrent()
+	out := r.Table.String()
+	if !strings.Contains(out, "failure implies success") {
+		t.Errorf("missing failure-implies-success row:\n%s", out)
+	}
+	if !strings.Contains(out, "soundness violations") {
+		t.Errorf("missing ablation row:\n%s", out)
+	}
+	// The ablation must find at least one violation.
+	if strings.Contains(out, "0 soundness violations") {
+		t.Errorf("ablation found nothing:\n%s", out)
+	}
+}
+
+func TestE9ConvergenceShape(t *testing.T) {
+	r := E9ConvergenceRate()
+	out := r.Table.String()
+	for _, n := range []string{"8", "16", "32"} {
+		if !strings.Contains(out, n) {
+			t.Errorf("missing n=%s row:\n%s", n, out)
+		}
+	}
+	// Shape: steal-WC converges in very few rounds on every row; the
+	// table must not contain the not-converged sentinel (100001).
+	if strings.Contains(out, "100001") {
+		t.Errorf("some scheme failed to converge:\n%s", out)
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in short mode")
+	}
+	rs := All()
+	if len(rs) != 9 {
+		t.Fatalf("All() = %d experiments, want 9", len(rs))
+	}
+	for i, r := range rs {
+		want := "E" + string(rune('1'+i))
+		if r.ID != want {
+			t.Errorf("experiment %d ID = %s, want %s", i, r.ID, want)
+		}
+		if r.Table == nil || len(r.Notes) == 0 {
+			t.Errorf("%s incomplete", r.ID)
+		}
+		if !strings.Contains(r.String(), r.Title) {
+			t.Errorf("%s String() lacks title", r.ID)
+		}
+	}
+}

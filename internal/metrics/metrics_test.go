@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 2)  // value 2 during [0,10)
+	w.Observe(10, 5) // value 5 during [10,20)
+	if got := w.IntegralAt(20); got != 2*10+5*10 {
+		t.Errorf("IntegralAt(20) = %v, want 70", got)
+	}
+	if got := w.MeanAt(20, 0); got != 3.5 {
+		t.Errorf("MeanAt = %v, want 3.5", got)
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var w TimeWeighted
+	if w.IntegralAt(100) != 0 {
+		t.Error("empty integral should be 0")
+	}
+	if w.MeanAt(0, 0) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	var w TimeWeighted
+	w.Observe(10, 1)
+	w.Observe(5, 1)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(16)
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45 || p50 > 56 {
+		t.Errorf("p50 = %d, want ≈50 (log-linear error bound)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 92 || p99 > 108 {
+		t.Errorf("p99 = %d, want ≈99", p99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(16)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != -1 {
+		t.Error("empty histogram misbehaves")
+	}
+	if h.String() != "hist(empty)" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(16)
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Errorf("Min = %d, want 0 (clamped)", h.Min())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram(16)
+	h.Record(42)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q<0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 not clamped")
+	}
+}
+
+func TestHistogramPanicsOnTinySubBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(1) did not panic")
+		}
+	}()
+	NewHistogram(1)
+}
+
+// Property: quantile estimates stay within the log-linear relative error
+// bound (1/subBuckets per tier ⇒ ≤ 2/subBuckets overall) against exact
+// order statistics.
+func TestHistogramQuantileAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram(32)
+		var vals []int64
+		n := 200 + rng.Intn(800)
+		for i := 0; i < n; i++ {
+			v := int64(rng.Intn(1_000_000))
+			vals = append(vals, v)
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			rank := int(q*float64(n)) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := vals[rank]
+			est := h.Quantile(q)
+			if exact == 0 {
+				continue
+			}
+			rel := float64(est-exact) / float64(exact)
+			if rel < -0.10 || rel > 0.15 {
+				t.Errorf("trial %d q=%.2f: exact=%d est=%d rel=%.3f", trial, q, exact, est, rel)
+			}
+		}
+	}
+}
+
+// Property: bucketUpper is monotone and bucketIndex(bucketUpper(i)) == i.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	h := NewHistogram(16)
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		idx := h.bucketIndex(v)
+		upper := h.bucketUpper(idx)
+		return upper >= v && h.bucketIndex(upper) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolationTracker(t *testing.T) {
+	v := NewViolationTracker(0)
+	// [0,10): 2 idle cores, overloaded exists -> 20 wasted core-ticks.
+	v.Observe(0, 2, true)
+	// [10,20): idle but nothing overloaded -> legal idleness.
+	v.Observe(10, 2, false)
+	// [20,30): violation again (1 idle).
+	v.Observe(20, 1, true)
+	v.Observe(30, 0, false)
+	if got := v.WastedCoreSeconds(30); got != 2*10+1*10 {
+		t.Errorf("WastedCoreSeconds = %v, want 30", got)
+	}
+	if got := v.IdleCoreSeconds(30); got != 2*10+2*10+1*10 {
+		t.Errorf("IdleCoreSeconds = %v, want 50", got)
+	}
+	if v.Episodes() != 2 {
+		t.Errorf("Episodes = %d, want 2", v.Episodes())
+	}
+	s := v.Summary(30, 4)
+	if !strings.Contains(s, "2 violation episodes") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestViolationTrackerNoTime(t *testing.T) {
+	v := NewViolationTracker(5)
+	if s := v.Summary(5, 2); !strings.Contains(s, "no time") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("policy", "N", "wasted%")
+	tb.AddRow("delta2", "3", "0.0")
+	tb.AddRow("cfs-buggy", "∞", "25.1")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "policy") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Overflowing cells are dropped.
+	tb2 := NewTable("a")
+	tb2.AddRow("1", "2")
+	if strings.Contains(tb2.String(), "2") {
+		t.Error("overflow cell not dropped")
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRow("b", "2")
+	tb.AddRow("a", "1")
+	tb.SortRows(0)
+	out := tb.String()
+	if strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Errorf("rows not sorted:\n%s", out)
+	}
+}

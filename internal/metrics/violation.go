@@ -1,0 +1,67 @@
+package metrics
+
+import "fmt"
+
+// ViolationTracker quantifies work-conservation violations over a
+// simulation: the time integral of "cores idle while at least one core is
+// overloaded". This is the paper's §1 "wasted cores" quantity — the CPU
+// capacity thrown away by a non-work-conserving scheduler.
+type ViolationTracker struct {
+	idleWhileOver TimeWeighted
+	idle          TimeWeighted
+	startT        int64
+	lastViolating bool
+	episodes      int64
+}
+
+// NewViolationTracker starts tracking at time t.
+func NewViolationTracker(t int64) *ViolationTracker {
+	v := &ViolationTracker{startT: t}
+	v.idleWhileOver.Observe(t, 0)
+	v.idle.Observe(t, 0)
+	return v
+}
+
+// Observe records the machine occupancy at time t: the number of idle
+// cores and whether any core is overloaded.
+func (v *ViolationTracker) Observe(t int64, idleCores int, anyOverloaded bool) {
+	violating := idleCores > 0 && anyOverloaded
+	wasted := 0
+	if violating {
+		wasted = idleCores
+	}
+	v.idleWhileOver.Observe(t, float64(wasted))
+	v.idle.Observe(t, float64(idleCores))
+	if violating && !v.lastViolating {
+		v.episodes++
+	}
+	v.lastViolating = violating
+}
+
+// WastedCoreSeconds returns ∫(idle cores while overloaded exists) dt up
+// to time t, in the caller's time unit.
+func (v *ViolationTracker) WastedCoreSeconds(t int64) float64 {
+	return v.idleWhileOver.IntegralAt(t)
+}
+
+// IdleCoreSeconds returns total idle core-time (violating or not).
+func (v *ViolationTracker) IdleCoreSeconds(t int64) float64 {
+	return v.idle.IntegralAt(t)
+}
+
+// Episodes counts distinct violation intervals (transitions into the
+// violating state). Transient violations are legal per §3.2 — it is
+// persistence that matters, visible as few long episodes vs many short
+// ones.
+func (v *ViolationTracker) Episodes() int64 { return v.episodes }
+
+// Summary renders the tracker state at time t over n cores.
+func (v *ViolationTracker) Summary(t int64, cores int) string {
+	span := float64(t - v.startT)
+	if span <= 0 {
+		return "violations: no time elapsed"
+	}
+	wasted := v.WastedCoreSeconds(t)
+	return fmt.Sprintf("wasted %.0f core-ticks (%.1f%% of capacity) across %d violation episodes",
+		wasted, 100*wasted/(span*float64(cores)), v.episodes)
+}

@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"repro/internal/sched"
+)
+
+// GreedyBuggy is the §4.3 counterexample filter:
+//
+//	def canSteal(stealee) = { stealee.load() >= 2 }
+//
+// Any core may steal from any overloaded core, regardless of its own load.
+// Sequentially this looks fine — it even satisfies Lemma 1 — but under
+// concurrency it is not work-conserving: on the 0/1/2 machine, cores 0
+// and 1 both target core 2; if core 1 wins, the next round can reproduce
+// the mirror-image state with cores 1 and 2 swapped, and core 0 can fail
+// to steal forever. The stolen task ping-pongs between two non-idle cores
+// while the idle core starves. internal/verify discovers this cycle
+// automatically (experiment E3).
+//
+// The root cause, in potential-function terms: a steal between loads 1
+// and 2 does not decrease the pairwise imbalance, so the number of
+// successful steals is unbounded and failures cannot be bounded either.
+type GreedyBuggy struct {
+	// Chooser is the step-2 heuristic; nil means most-loaded candidate,
+	// which is what makes the ping-pong schedule realizable (both the
+	// idle and the load-1 core chase the same victim).
+	Chooser sched.ChooseFunc
+}
+
+// NewGreedyBuggy returns the counterexample policy.
+func NewGreedyBuggy() *GreedyBuggy { return &GreedyBuggy{} }
+
+// Name implements sched.Policy.
+func (p *GreedyBuggy) Name() string { return "greedy-buggy" }
+
+// Load implements sched.Policy.
+func (p *GreedyBuggy) Load(c *sched.Core) int64 { return int64(c.NThreads()) }
+
+// CanSteal implements sched.Policy: the buggy filter.
+func (p *GreedyBuggy) CanSteal(_, stealee *sched.Core) bool {
+	return p.Load(stealee) >= 2
+}
+
+// Choose implements sched.Policy.
+func (p *GreedyBuggy) Choose(thief *sched.Core, candidates []*sched.Core) *sched.Core {
+	if p.Chooser == nil {
+		return sched.ChooseMaxLoad(p.Load)(thief, candidates)
+	}
+	return p.Chooser(thief, candidates)
+}
+
+// StealCount implements sched.Policy.
+func (p *GreedyBuggy) StealCount(_, _ *sched.Core) int { return 1 }
+
+var _ sched.Policy = (*GreedyBuggy)(nil)

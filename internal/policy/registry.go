@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Factory constructs a fresh policy instance. Policies carrying per-round
+// caches (RoundObservers) are stateful, so every consumer that needs
+// isolation — each verifier run, each simulated machine, each executor
+// worker set — must construct its own instance through a Factory.
+type Factory func() sched.Policy
+
+// registry maps policy names to factories for the command-line tools.
+var registry = map[string]Factory{
+	"delta2":            func() sched.Policy { return NewDelta2() },
+	"weighted":          func() sched.Policy { return NewWeighted() },
+	"greedy-buggy":      func() sched.Policy { return NewGreedyBuggy() },
+	"cfs-group-buggy":   func() sched.Policy { return NewCFSGroupBuggy() },
+	"hierarchical":      func() sched.Policy { return NewHierarchical() },
+	"random-choice":     func() sched.Policy { return NewRandomChoice(1) },
+	"null":              func() sched.Policy { return NewNull() },
+	"delta1-aggressive": func() sched.Policy { return NewDelta1Aggressive() },
+	// delta2-gen is the DSL code-generation backend's output for
+	// Listing 1 (internal/dsl/testdata/delta2.pol), committed as
+	// gen_delta2.go and kept behaviorally identical to delta2 by
+	// TestGeneratedDelta2MatchesEverything.
+	"delta2-gen": func() sched.Policy { return &Delta2Gen{} },
+}
+
+// New returns a fresh instance of the named built-in policy.
+func New(name string) (sched.Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,92 @@
+package policy
+
+import (
+	"repro/internal/sched"
+)
+
+// Weighted is the niceness-weighted variant of Listing 1 that the paper
+// reports Leon still proves automatically: the balancer equalizes the sum
+// of task weights instead of the thread count. The filter admits a steal
+// only when the stealee owns a *queued* task whose migration strictly
+// decreases the weighted load gap — the inductive step of the
+// potential-function proof:
+//
+//	|gap − 2w| < gap  ⟺  0 < w < gap
+//
+// Overshoot (the thief ending up heavier than the stealee) is permitted
+// as long as the gap shrinks; convexity extends the local decrease to the
+// global pairwise imbalance, which internal/verify checks exhaustively.
+//
+// Weighted implements sched.TaskPicker to migrate the admissible task
+// closest to gap/2, shrinking the gap the most per steal.
+type Weighted struct {
+	// Chooser is the step-2 heuristic; nil means lowest-ID candidate.
+	Chooser sched.ChooseFunc
+}
+
+// NewWeighted returns the weighted balancer with the deterministic
+// lowest-ID choice.
+func NewWeighted() *Weighted { return &Weighted{} }
+
+// Name implements sched.Policy.
+func (p *Weighted) Name() string { return "weighted" }
+
+// Load implements sched.Policy: the sum of thread weights.
+func (p *Weighted) Load(c *sched.Core) int64 { return c.WeightSum() }
+
+// CanSteal implements sched.Policy: some queued task on stealee strictly
+// shrinks the load gap. This is the weakest filter for which every steal
+// decreases the potential, and it satisfies Lemma 1: an overloaded core
+// owns a queued task, and any queued task's weight is below the core's
+// total (the gap seen from an idle thief), so an idle thief always has a
+// candidate when an overloaded core exists.
+func (p *Weighted) CanSteal(thief, stealee *sched.Core) bool {
+	return p.pickTask(thief, stealee) != nil
+}
+
+// Choose implements sched.Policy (step 2).
+func (p *Weighted) Choose(thief *sched.Core, candidates []*sched.Core) *sched.Core {
+	if p.Chooser == nil {
+		return sched.ChooseFirst(thief, candidates)
+	}
+	return p.Chooser(thief, candidates)
+}
+
+// StealCount implements sched.Policy. The actual migration is driven by
+// PickTasks; the count is advisory.
+func (p *Weighted) StealCount(_, _ *sched.Core) int { return 1 }
+
+// PickTasks implements sched.TaskPicker: the admissible queued task whose
+// weight is closest to gap/2 (maximal gap shrinkage per steal).
+func (p *Weighted) PickTasks(thief, stealee *sched.Core) []sched.TaskID {
+	t := p.pickTask(thief, stealee)
+	if t == nil {
+		return nil
+	}
+	return []sched.TaskID{t.ID}
+}
+
+func (p *Weighted) pickTask(thief, stealee *sched.Core) *sched.Task {
+	gap := p.Load(stealee) - p.Load(thief)
+	var best *sched.Task
+	var bestResidual int64
+	for _, t := range stealee.Ready {
+		if t.Weight >= gap {
+			continue // would not strictly shrink the gap
+		}
+		residual := gap - 2*t.Weight
+		if residual < 0 {
+			residual = -residual
+		}
+		if best == nil || residual < bestResidual ||
+			(residual == bestResidual && t.Weight < best.Weight) {
+			best, bestResidual = t, residual
+		}
+	}
+	return best
+}
+
+var (
+	_ sched.Policy     = (*Weighted)(nil)
+	_ sched.TaskPicker = (*Weighted)(nil)
+)

@@ -1,0 +1,288 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskNew(t *testing.T) {
+	task := NewTask(7)
+	if task.ID != 7 {
+		t.Errorf("ID = %d, want 7", task.ID)
+	}
+	if task.Weight != DefaultWeight {
+		t.Errorf("Weight = %d, want %d", task.Weight, DefaultWeight)
+	}
+	if task.NodeHint != -1 {
+		t.Errorf("NodeHint = %d, want -1", task.NodeHint)
+	}
+}
+
+func TestTaskNewWeighted(t *testing.T) {
+	task := NewWeightedTask(3, 2048)
+	if task.Weight != 2048 {
+		t.Errorf("Weight = %d, want 2048", task.Weight)
+	}
+}
+
+func TestTaskNewWeightedRejectsNonPositive(t *testing.T) {
+	for _, w := range []int64{0, -1, -1024} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeightedTask(1, %d) did not panic", w)
+				}
+			}()
+			NewWeightedTask(1, w)
+		}()
+	}
+}
+
+func TestTaskClone(t *testing.T) {
+	orig := NewWeightedTask(1, 512)
+	c := orig.Clone()
+	if c == orig {
+		t.Fatal("Clone returned the same pointer")
+	}
+	c.Weight = 99
+	if orig.Weight != 512 {
+		t.Errorf("mutating clone changed original: %d", orig.Weight)
+	}
+	var nilTask *Task
+	if nilTask.Clone() != nil {
+		t.Error("Clone of nil task should be nil")
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if got := NewTask(5).String(); got != "task(5)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewWeightedTask(5, 2).String(); got != "task(5,w=2)" {
+		t.Errorf("String = %q", got)
+	}
+	var nilTask *Task
+	if got := nilTask.String(); got != "task(nil)" {
+		t.Errorf("nil String = %q", got)
+	}
+}
+
+func TestCoreIdleOverloaded(t *testing.T) {
+	cases := []struct {
+		name       string
+		current    bool
+		ready      int
+		idle, over bool
+	}{
+		{"empty", false, 0, true, false},
+		{"running-only", true, 0, false, false},
+		{"queued-only-1", false, 1, false, false},
+		{"queued-only-2", false, 2, false, true},
+		{"running-plus-1", true, 1, false, true},
+		{"running-plus-3", true, 3, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCore(0)
+			id := TaskID(0)
+			if tc.current {
+				c.Current = NewTask(id)
+				id++
+			}
+			for i := 0; i < tc.ready; i++ {
+				c.Push(NewTask(id))
+				id++
+			}
+			if got := c.Idle(); got != tc.idle {
+				t.Errorf("Idle = %v, want %v", got, tc.idle)
+			}
+			if got := c.Overloaded(); got != tc.over {
+				t.Errorf("Overloaded = %v, want %v", got, tc.over)
+			}
+		})
+	}
+}
+
+func TestCoreNThreadsAndWeightSum(t *testing.T) {
+	c := NewCore(1)
+	if c.NThreads() != 0 || c.WeightSum() != 0 {
+		t.Fatalf("empty core: NThreads=%d WeightSum=%d", c.NThreads(), c.WeightSum())
+	}
+	c.Current = NewWeightedTask(0, 100)
+	c.Push(NewWeightedTask(1, 10))
+	c.Push(NewWeightedTask(2, 1))
+	if got := c.NThreads(); got != 3 {
+		t.Errorf("NThreads = %d, want 3", got)
+	}
+	if got := c.WeightSum(); got != 111 {
+		t.Errorf("WeightSum = %d, want 111", got)
+	}
+}
+
+func TestCorePushPopFIFO(t *testing.T) {
+	c := NewCore(0)
+	for i := 0; i < 5; i++ {
+		c.Push(NewTask(TaskID(i)))
+	}
+	for i := 0; i < 5; i++ {
+		got := c.Pop()
+		if got == nil || got.ID != TaskID(i) {
+			t.Fatalf("Pop %d = %v, want task(%d)", i, got, i)
+		}
+	}
+	if c.Pop() != nil {
+		t.Error("Pop on empty runqueue should return nil")
+	}
+}
+
+func TestCorePopTailLIFO(t *testing.T) {
+	c := NewCore(0)
+	for i := 0; i < 3; i++ {
+		c.Push(NewTask(TaskID(i)))
+	}
+	for i := 2; i >= 0; i-- {
+		got := c.PopTail()
+		if got == nil || got.ID != TaskID(i) {
+			t.Fatalf("PopTail = %v, want task(%d)", got, i)
+		}
+	}
+	if c.PopTail() != nil {
+		t.Error("PopTail on empty runqueue should return nil")
+	}
+}
+
+func TestCorePushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Push(nil) did not panic")
+		}
+	}()
+	NewCore(0).Push(nil)
+}
+
+func TestCoreRemove(t *testing.T) {
+	c := NewCore(0)
+	for i := 0; i < 4; i++ {
+		c.Push(NewTask(TaskID(i)))
+	}
+	got := c.Remove(2)
+	if got == nil || got.ID != 2 {
+		t.Fatalf("Remove(2) = %v", got)
+	}
+	if len(c.Ready) != 3 {
+		t.Fatalf("len(Ready) = %d, want 3", len(c.Ready))
+	}
+	for _, rem := range c.Ready {
+		if rem.ID == 2 {
+			t.Error("task 2 still in runqueue after Remove")
+		}
+	}
+	if c.Remove(99) != nil {
+		t.Error("Remove of absent task should return nil")
+	}
+	c.Current = NewTask(50)
+	if c.Remove(50) != nil {
+		t.Error("Remove must not take the current task")
+	}
+}
+
+func TestCoreScheduleLocal(t *testing.T) {
+	c := NewCore(0)
+	if c.ScheduleLocal() != nil {
+		t.Error("ScheduleLocal on empty core should do nothing")
+	}
+	c.Push(NewTask(1))
+	c.Push(NewTask(2))
+	before := c.NThreads()
+	got := c.ScheduleLocal()
+	if got == nil || got.ID != 1 {
+		t.Fatalf("ScheduleLocal = %v, want head task(1)", got)
+	}
+	if c.Current != got {
+		t.Error("ScheduleLocal did not install the task as Current")
+	}
+	if c.NThreads() != before {
+		t.Errorf("ScheduleLocal changed NThreads: %d -> %d", before, c.NThreads())
+	}
+	if c.ScheduleLocal() != nil {
+		t.Error("ScheduleLocal with a Current should do nothing")
+	}
+}
+
+func TestCoreClone(t *testing.T) {
+	c := NewCore(3)
+	c.Node, c.Group = 1, 2
+	c.Current = NewTask(0)
+	c.Push(NewTask(1))
+	cl := c.Clone()
+	if cl.ID != 3 || cl.Node != 1 || cl.Group != 2 {
+		t.Errorf("clone metadata mismatch: %+v", cl)
+	}
+	cl.Push(NewTask(9))
+	cl.Current.Weight = 1
+	if len(c.Ready) != 1 {
+		t.Error("mutating clone's runqueue affected original")
+	}
+	if c.Current.Weight != DefaultWeight {
+		t.Error("mutating clone's current task affected original")
+	}
+	empty := NewCore(0).Clone()
+	if empty.Current != nil || len(empty.Ready) != 0 {
+		t.Error("clone of empty core is not empty")
+	}
+}
+
+func TestCoreString(t *testing.T) {
+	c := NewCore(2)
+	if got := c.String(); got != "c2[run:- rq:0]" {
+		t.Errorf("String = %q", got)
+	}
+	c.Current = NewTask(5)
+	c.Push(NewTask(6))
+	if got := c.String(); got != "c2[run:task(5) rq:1]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: for any sequence of pushes, popping everything preserves FIFO
+// order and leaves the queue empty.
+func TestCoreQueueProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		c := NewCore(0)
+		for i := range ids {
+			c.Push(NewTask(TaskID(i)))
+		}
+		for i := range ids {
+			got := c.Pop()
+			if got == nil || got.ID != TaskID(i) {
+				return false
+			}
+		}
+		return len(c.Ready) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Idle and Overloaded are mutually exclusive, and a core is
+// overloaded iff NThreads >= 2.
+func TestCorePredicateProperty(t *testing.T) {
+	f := func(hasCurrent bool, nReady uint8) bool {
+		c := NewCore(0)
+		if hasCurrent {
+			c.Current = NewTask(1000)
+		}
+		n := int(nReady % 8)
+		for i := 0; i < n; i++ {
+			c.Push(NewTask(TaskID(i)))
+		}
+		if c.Idle() && c.Overloaded() {
+			return false
+		}
+		return c.Overloaded() == (c.NThreads() >= 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package sched
+
+// Policy is the paper's scheduling-policy abstraction, decomposed into the
+// three steps of Figure 1 plus a user-defined load metric (Listing 1):
+//
+//	Load      — the `load()` function: how loaded a core is.
+//	CanSteal  — step 1, the filter: may thief steal from stealee?
+//	Choose    — step 2: pick one core among the filtered candidates.
+//	StealCount— step 3 sizing: how many tasks to migrate per steal.
+//
+// The separation is what makes the proofs tractable: work-conservation
+// obligations constrain only Load, CanSteal and StealCount; Choose may
+// implement arbitrary heuristics (NUMA, cache locality, ...) as long as it
+// returns one of the candidates it was given, which the executors enforce
+// (mirroring Listing 1's `ensuring(res => cores.contains(res))`).
+//
+// Implementations must be pure with respect to the machine state: the
+// selection phase of a balancing round is lock-free and read-only (§3.1),
+// so a Policy must not mutate the cores it inspects. The executors hand
+// policies cloned snapshots in the concurrent mode, so a mutating policy
+// cannot corrupt the machine, but it would invalidate its own proofs.
+type Policy interface {
+	// Name identifies the policy in reports and traces.
+	Name() string
+
+	// Load returns the policy's load metric for a core. For the simple
+	// balancer of Listing 1 this is the thread count; for the weighted
+	// balancer it is the weight sum.
+	Load(c *Core) int64
+
+	// CanSteal is the step-1 filter: whether thief may steal from
+	// stealee, based only on the two cores' observable state. It is
+	// evaluated lock-free during selection and re-validated under locks
+	// at the start of the steal (Listing 1 line 12).
+	CanSteal(thief, stealee *Core) bool
+
+	// Choose is the step-2 choice among the cores that passed the
+	// filter. candidates is never empty. The returned core must be one
+	// of the candidates; the executors verify this and panic otherwise,
+	// since a policy violating it has broken its proof obligations.
+	Choose(thief *Core, candidates []*Core) *Core
+
+	// StealCount returns how many tasks thief should take from stealee
+	// in one steal operation. The executors clamp the result to the
+	// number of stealable (queued) tasks; returning a count that would
+	// empty an overloaded stealee is a soundness violation detected by
+	// internal/verify.
+	StealCount(thief, stealee *Core) int
+}
+
+// RoundObserver is an optional Policy extension for policies whose filter
+// depends on machine-wide statistics (e.g. per-group load sums for
+// hierarchical balancing, §5). BeginRound is invoked with the view the
+// subsequent selection runs against — the live machine in sequential mode,
+// the stale snapshot in concurrent mode — so cached statistics have
+// exactly the staleness the optimistic model prescribes. Implementations
+// must treat the view as read-only.
+type RoundObserver interface {
+	BeginRound(view *Machine)
+}
+
+// TaskPicker is an optional Policy extension for policies that must steal
+// specific tasks rather than whatever sits at the runqueue tail (e.g. the
+// weighted balancer, which picks a task small enough to strictly decrease
+// the load imbalance). PickTasks returns the IDs of queued tasks on
+// stealee to migrate; returning an empty slice fails the steal. Every
+// returned ID must be queued (not running) on stealee.
+type TaskPicker interface {
+	PickTasks(thief, stealee *Core) []TaskID
+}
+
+// ChooseFunc is a standalone step-2 heuristic. Policies built from
+// separable parts (e.g. DSL-compiled policies, or the composition helpers
+// below) use it to swap placement heuristics without touching the filter,
+// which is exactly the paper's argument for why heuristics are proof-free.
+type ChooseFunc func(thief *Core, candidates []*Core) *Core
+
+// ChooseFirst picks the candidate with the lowest core ID. It is the
+// deterministic default used by the verifier, making counterexample traces
+// reproducible.
+func ChooseFirst(_ *Core, candidates []*Core) *Core {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.ID < best.ID {
+			best = c
+		}
+	}
+	return best
+}
+
+// ChooseMaxLoad returns a ChooseFunc that picks the most loaded candidate
+// according to the given load metric, breaking ties by lowest core ID.
+// This mirrors CFS's preference for stealing from the busiest queue.
+func ChooseMaxLoad(load func(*Core) int64) ChooseFunc {
+	return func(_ *Core, candidates []*Core) *Core {
+		best := candidates[0]
+		bestLoad := load(best)
+		for _, c := range candidates[1:] {
+			l := load(c)
+			if l > bestLoad || (l == bestLoad && c.ID < best.ID) {
+				best, bestLoad = c, l
+			}
+		}
+		return best
+	}
+}
+
+// ChooseNearest returns a ChooseFunc preferring candidates on the thief's
+// NUMA node, then falling back to the most loaded candidate. distance
+// reports the topological distance between two cores; smaller is closer.
+// Because it only reorders candidates, it inherits the filter's proof.
+func ChooseNearest(distance func(a, b *Core) int, load func(*Core) int64) ChooseFunc {
+	return func(thief *Core, candidates []*Core) *Core {
+		best := candidates[0]
+		bestDist := distance(thief, best)
+		bestLoad := load(best)
+		for _, c := range candidates[1:] {
+			d, l := distance(thief, c), load(c)
+			switch {
+			case d < bestDist:
+				best, bestDist, bestLoad = c, d, l
+			case d == bestDist && l > bestLoad:
+				best, bestLoad = c, l
+			case d == bestDist && l == bestLoad && c.ID < best.ID:
+				best = c
+			}
+		}
+		return best
+	}
+}
+
+// FuncPolicy assembles a Policy from its parts. It is the bridge used by
+// the DSL compiler and by tests that build one-off policies.
+type FuncPolicy struct {
+	PolicyName string
+	LoadFn     func(*Core) int64
+	FilterFn   func(thief, stealee *Core) bool
+	ChooseFn   ChooseFunc
+	CountFn    func(thief, stealee *Core) int
+}
+
+// Name implements Policy.
+func (p *FuncPolicy) Name() string { return p.PolicyName }
+
+// Load implements Policy.
+func (p *FuncPolicy) Load(c *Core) int64 { return p.LoadFn(c) }
+
+// CanSteal implements Policy.
+func (p *FuncPolicy) CanSteal(thief, stealee *Core) bool { return p.FilterFn(thief, stealee) }
+
+// Choose implements Policy. It falls back to ChooseFirst when no choice
+// function was provided.
+func (p *FuncPolicy) Choose(thief *Core, candidates []*Core) *Core {
+	if p.ChooseFn == nil {
+		return ChooseFirst(thief, candidates)
+	}
+	return p.ChooseFn(thief, candidates)
+}
+
+// StealCount implements Policy. It falls back to stealing one task when no
+// count function was provided, matching Listing 1's stealOneThread.
+func (p *FuncPolicy) StealCount(thief, stealee *Core) int {
+	if p.CountFn == nil {
+		return 1
+	}
+	return p.CountFn(thief, stealee)
+}

@@ -1,0 +1,89 @@
+package sched
+
+// This file implements the potential-function machinery of §4.3: the
+// "absolute load difference"
+//
+//	d(c1,...,cn) = Σᵢ Σⱼ |load(cᵢ) − load(cⱼ)|
+//
+// The paper's convergence argument: if every successful steal strictly
+// decreases d, then — since d ≥ 0 and steals change it by integral
+// amounts — the number of successful steals is bounded, and combined with
+// failure⇒success, so is the number of failures.
+
+// PairwiseImbalance computes d under the policy's load metric. Both (i,j)
+// and (j,i) are summed, as in the paper's double summation, so every
+// unordered pair contributes twice.
+func PairwiseImbalance(p Policy, m *Machine) int64 {
+	loads := make([]int64, m.NumCores())
+	for i, c := range m.Cores {
+		loads[i] = p.Load(c)
+	}
+	var d int64
+	for i := range loads {
+		for j := range loads {
+			diff := loads[i] - loads[j]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+	}
+	return d
+}
+
+// MaxMinImbalance computes the alternative potential max(load) − min(load),
+// used by the ablation bench to compare convergence-bound tightness
+// against the paper's pairwise sum.
+func MaxMinImbalance(p Policy, m *Machine) int64 {
+	if m.NumCores() == 0 {
+		return 0
+	}
+	lo := p.Load(m.Cores[0])
+	hi := lo
+	for _, c := range m.Cores[1:] {
+		l := p.Load(c)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return hi - lo
+}
+
+// StealDecreasesPotential reports whether migrating `moved` units of load
+// from victim to thief strictly decreases the pairwise imbalance, given
+// the pre-steal loads. It implements the paper's local criterion: the
+// stealCore function must reduce the absolute load difference between the
+// initiating core and the core stolen from.
+//
+// It exists as a pure function of the two loads so the verifier can check
+// it over the whole bounded load space without materializing machines.
+func StealDecreasesPotential(thiefLoad, victimLoad, moved int64) bool {
+	if moved <= 0 {
+		return false
+	}
+	before := victimLoad - thiefLoad
+	if before < 0 {
+		before = -before
+	}
+	after := (victimLoad - moved) - (thiefLoad + moved)
+	if after < 0 {
+		after = -after
+	}
+	return after < before
+}
+
+// PotentialBound returns an upper bound on the number of successful steals
+// a policy can perform from the given state, derived from the potential
+// argument: every successful steal decreases d by at least minDrop, so at
+// most d/minDrop steals can happen. minDrop must be positive; for
+// unit-weight tasks and single-task steals the minimum drop of the
+// pairwise sum is 2 (the thief/victim pair contributes twice).
+func PotentialBound(p Policy, m *Machine, minDrop int64) int64 {
+	if minDrop <= 0 {
+		panic("sched: PotentialBound requires a positive minimum drop")
+	}
+	return PairwiseImbalance(p, m) / minDrop
+}

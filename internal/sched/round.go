@@ -1,0 +1,372 @@
+package sched
+
+import "fmt"
+
+// FailureReason classifies why a steal attempt did not move any task.
+type FailureReason int
+
+const (
+	// FailNone means the attempt succeeded.
+	FailNone FailureReason = iota
+	// FailNoCandidate means the filter kept no core during selection, so
+	// the core did not attempt a steal this round.
+	FailNoCandidate
+	// FailRevalidation means the filter held during the lock-free
+	// selection but no longer held under locks (Listing 1 line 12): the
+	// optimistic decision was stale. The paper's "failed work-stealing
+	// attempt".
+	FailRevalidation
+	// FailEmptyVictim means the filter still held but the victim had no
+	// queued task to take (its only thread is running). A sound policy's
+	// filter never passes such a core; the executor reports rather than
+	// panics so the verifier can flag the policy.
+	FailEmptyVictim
+)
+
+// String implements fmt.Stringer.
+func (r FailureReason) String() string {
+	switch r {
+	case FailNone:
+		return "ok"
+	case FailNoCandidate:
+		return "no-candidate"
+	case FailRevalidation:
+		return "revalidation-failed"
+	case FailEmptyVictim:
+		return "empty-victim"
+	default:
+		return fmt.Sprintf("FailureReason(%d)", int(r))
+	}
+}
+
+// Attempt records one core's participation in a balancing round: what it
+// selected during the lock-free phase and what happened when it tried to
+// steal. The verifier uses these records to check the failure⇒success
+// lemma of §4.3.
+type Attempt struct {
+	// Thief is the core that ran the round.
+	Thief int
+	// Victim is the core chosen in step 2, or -1 if the filter kept no
+	// candidate.
+	Victim int
+	// Candidates are the core IDs that passed the step-1 filter at
+	// selection time.
+	Candidates []int
+	// Moved is the number of tasks actually migrated in step 3.
+	Moved int
+	// MovedTasks are the IDs of the migrated tasks.
+	MovedTasks []TaskID
+	// Reason classifies the outcome.
+	Reason FailureReason
+	// PredecessorSuccess reports, for a FailRevalidation attempt,
+	// whether an earlier steal in the same round succeeded against this
+	// attempt's victim or thief — the event that invalidated the
+	// optimistic selection. Always false for other outcomes.
+	PredecessorSuccess bool
+}
+
+// Succeeded reports whether the attempt moved at least one task.
+func (a *Attempt) Succeeded() bool { return a.Reason == FailNone && a.Moved > 0 }
+
+// RoundResult aggregates the attempts of one balancing round.
+type RoundResult struct {
+	Attempts []Attempt
+}
+
+// Successes counts attempts that moved at least one task.
+func (r *RoundResult) Successes() int {
+	n := 0
+	for i := range r.Attempts {
+		if r.Attempts[i].Succeeded() {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures counts attempts that selected a victim but failed to steal.
+func (r *RoundResult) Failures() int {
+	n := 0
+	for i := range r.Attempts {
+		switch r.Attempts[i].Reason {
+		case FailRevalidation, FailEmptyVictim:
+			n++
+		}
+	}
+	return n
+}
+
+// TasksMoved counts migrated tasks across all attempts.
+func (r *RoundResult) TasksMoved() int {
+	n := 0
+	for i := range r.Attempts {
+		n += r.Attempts[i].Moved
+	}
+	return n
+}
+
+// Select runs steps 1 and 2 for thief against the given view of the
+// machine: filter every other core, then choose among the survivors. The
+// view may be a stale snapshot (concurrent mode) or the live machine
+// (sequential mode); Select never mutates it. It returns the attempt with
+// Victim, Candidates and, when nothing is stealable, FailNoCandidate.
+func Select(p Policy, view *Machine, thiefID int) Attempt {
+	if obs, ok := p.(RoundObserver); ok {
+		obs.BeginRound(view)
+	}
+	thief := view.Core(thiefID)
+	att := Attempt{Thief: thiefID, Victim: -1}
+	var candidates []*Core
+	for _, c := range view.Cores {
+		if c.ID == thiefID {
+			continue
+		}
+		if p.CanSteal(thief, c) {
+			candidates = append(candidates, c)
+			att.Candidates = append(att.Candidates, c.ID)
+		}
+	}
+	if len(candidates) == 0 {
+		att.Reason = FailNoCandidate
+		return att
+	}
+	chosen := p.Choose(thief, candidates)
+	if chosen == nil {
+		panic(fmt.Sprintf("sched: policy %q Choose returned nil", p.Name()))
+	}
+	found := false
+	for _, c := range candidates {
+		if c == chosen {
+			found = true
+			break
+		}
+	}
+	if !found {
+		// Listing 1's `ensuring(res => cores.contains(res))`: a Choose
+		// that escapes its candidate set has broken the contract the
+		// proofs rely on.
+		panic(fmt.Sprintf("sched: policy %q Choose returned core %d, not among candidates %v",
+			p.Name(), chosen.ID, att.Candidates))
+	}
+	att.Victim = chosen.ID
+	return att
+}
+
+// Steal runs step 3 for a previously selected attempt against the live
+// machine: with both runqueues (conceptually) locked, re-validate the
+// filter and migrate tasks. It mutates m and fills in the attempt's
+// outcome fields. Stealing only takes queued tasks, never the victim's
+// current task (a running thread cannot be migrated in this model).
+func Steal(p Policy, m *Machine, att *Attempt) {
+	if att.Victim < 0 {
+		return
+	}
+	thief := m.Core(att.Thief)
+	victim := m.Core(att.Victim)
+	// Listing 1 line 12: the optimistic selection must be re-validated
+	// under locks, because another core may have stolen from the victim
+	// (or handed work to the thief) since the lock-free phase.
+	if !p.CanSteal(thief, victim) {
+		att.Reason = FailRevalidation
+		return
+	}
+	if picker, ok := p.(TaskPicker); ok {
+		stealPicked(picker, thief, victim, att)
+		return
+	}
+	want := p.StealCount(thief, victim)
+	if want <= 0 {
+		att.Reason = FailRevalidation
+		return
+	}
+	if len(victim.Ready) == 0 {
+		att.Reason = FailEmptyVictim
+		return
+	}
+	if want > len(victim.Ready) {
+		want = len(victim.Ready)
+	}
+	for i := 0; i < want; i++ {
+		t := victim.PopTail()
+		thief.Push(t)
+		att.MovedTasks = append(att.MovedTasks, t.ID)
+	}
+	att.Moved = want
+	att.Reason = FailNone
+}
+
+// stealPicked migrates the specific tasks chosen by a TaskPicker policy.
+func stealPicked(picker TaskPicker, thief, victim *Core, att *Attempt) {
+	ids := picker.PickTasks(thief, victim)
+	if len(ids) == 0 {
+		att.Reason = FailRevalidation
+		return
+	}
+	if len(victim.Ready) == 0 {
+		att.Reason = FailEmptyVictim
+		return
+	}
+	for _, id := range ids {
+		t := victim.Remove(id)
+		if t == nil {
+			// The picker named a task that is not queued on the victim:
+			// a policy bug the verifier must see, not a crash.
+			att.Reason = FailEmptyVictim
+			return
+		}
+		thief.Push(t)
+		att.MovedTasks = append(att.MovedTasks, t.ID)
+		att.Moved++
+	}
+	att.Reason = FailNone
+}
+
+// SequentialRound executes one balancing round in the simplified setting
+// of §4.2: each core performs all three steps in isolation, in core-ID
+// order, observing the live machine. Steals cannot fail by staleness in
+// this mode (the selection is never stale), which is what makes the
+// sequential lemmas provable in isolation.
+func SequentialRound(p Policy, m *Machine) RoundResult {
+	res := RoundResult{Attempts: make([]Attempt, 0, m.NumCores())}
+	for id := 0; id < m.NumCores(); id++ {
+		att := Select(p, m, id)
+		Steal(p, m, &att)
+		res.Attempts = append(res.Attempts, att)
+	}
+	return res
+}
+
+// SelectAll runs the lock-free selection phase for every core against a
+// shared snapshot of the machine — the maximal-staleness model of §3.1
+// where all cores decide "simultaneously". It returns one attempt per
+// core, indexed by core ID.
+func SelectAll(p Policy, m *Machine) []Attempt {
+	snapshot := m.Clone()
+	atts := make([]Attempt, m.NumCores())
+	for id := 0; id < m.NumCores(); id++ {
+		atts[id] = Select(p, snapshot, id)
+	}
+	return atts
+}
+
+// ExecuteSteals runs the stealing phase for pre-selected attempts: the
+// steals serialize in the given order (the adversary's lock-acquisition
+// order), each re-validating its filter under locks against the live
+// machine. The attempts slice is not modified; outcomes are returned in
+// execution order.
+func ExecuteSteals(p Policy, m *Machine, atts []Attempt, order []int) RoundResult {
+	if err := checkOrder(order, m.NumCores()); err != nil {
+		panic(err)
+	}
+	res := RoundResult{Attempts: make([]Attempt, 0, m.NumCores())}
+	for _, id := range order {
+		att := atts[id]
+		Steal(p, m, &att)
+		if att.Reason == FailRevalidation || att.Reason == FailEmptyVictim {
+			att.PredecessorSuccess = priorSuccessTouched(res.Attempts, att.Victim, att.Thief)
+		}
+		res.Attempts = append(res.Attempts, att)
+	}
+	return res
+}
+
+// ConcurrentRound executes one balancing round in the optimistic
+// concurrent setting of §3.1/§4.3: lock-free selection against the
+// round-start snapshot (SelectAll), then steals serialized in the given
+// adversarial order with re-validation (ExecuteSteals).
+func ConcurrentRound(p Policy, m *Machine, order []int) RoundResult {
+	return ExecuteSteals(p, m, SelectAll(p, m), order)
+}
+
+// UnsafeConcurrentRound is ConcurrentRound with the step-3 re-validation
+// removed (Listing 1 line 12 deleted): each core steals based purely on
+// its stale selection. It exists only for the E8 ablation, demonstrating
+// why the re-check is load-bearing — without it a steal can empty an
+// overloaded victim or even drain a core another thief already drained,
+// violating steal soundness. The executor still refuses to move a task
+// that no longer exists (that would corrupt the machine rather than model
+// a scheduler bug), reporting FailEmptyVictim instead.
+func UnsafeConcurrentRound(p Policy, m *Machine, order []int) RoundResult {
+	if err := checkOrder(order, m.NumCores()); err != nil {
+		panic(err)
+	}
+	snapshot := m.Clone()
+	atts := make([]Attempt, m.NumCores())
+	for id := 0; id < m.NumCores(); id++ {
+		atts[id] = Select(p, snapshot, id)
+	}
+	res := RoundResult{Attempts: make([]Attempt, 0, m.NumCores())}
+	for _, id := range order {
+		att := atts[id]
+		if att.Victim >= 0 {
+			thief := m.Core(att.Thief)
+			victim := m.Core(att.Victim)
+			// No re-validation: honor the stale decision blindly.
+			want := p.StealCount(thief, victim)
+			if picker, ok := p.(TaskPicker); ok {
+				// Stale pick too: compute against the snapshot.
+				ids := picker.PickTasks(snapshot.Core(att.Thief), snapshot.Core(att.Victim))
+				want = len(ids)
+			}
+			if want > len(victim.Ready) {
+				want = len(victim.Ready)
+			}
+			if want <= 0 {
+				att.Reason = FailEmptyVictim
+			} else {
+				for i := 0; i < want; i++ {
+					t := victim.PopTail()
+					thief.Push(t)
+					att.MovedTasks = append(att.MovedTasks, t.ID)
+				}
+				att.Moved = want
+				att.Reason = FailNone
+			}
+		}
+		res.Attempts = append(res.Attempts, att)
+	}
+	return res
+}
+
+// priorSuccessTouched reports whether any already-executed successful
+// steal involved core victim or core thief (as either side). Only steals
+// mutate runqueues during a round, so a failed re-validation must be
+// explained by such a predecessor — the first proof obligation of §4.3.
+func priorSuccessTouched(done []Attempt, victim, thief int) bool {
+	for i := range done {
+		a := &done[i]
+		if !a.Succeeded() {
+			continue
+		}
+		if a.Victim == victim || a.Thief == victim || a.Victim == thief || a.Thief == thief {
+			return true
+		}
+	}
+	return false
+}
+
+func checkOrder(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("sched: order has %d entries for %d cores", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || id >= n {
+			return fmt.Errorf("sched: order contains invalid core ID %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("sched: order contains core ID %d twice", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// IdentityOrder returns the order [0, 1, ..., n-1].
+func IdentityOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}

@@ -1,0 +1,82 @@
+// Package sched implements the scheduler model of "Towards Proving
+// Optimistic Multicore Schedulers" (Lepers et al., HotOS 2017).
+//
+// The model mirrors §3.1 of the paper: a machine is a set of cores, each
+// with an optional current task and a runqueue of ready tasks. Cores only
+// run tasks from their own runqueue; a periodic load-balancing round lets
+// each core migrate ("steal") tasks from other cores. A round decomposes
+// into the paper's three steps:
+//
+//  1. Filter — a lock-free, read-only pass that keeps only stealable cores.
+//  2. Choose — pick one core among the stealable ones. All placement
+//     heuristics (NUMA, cache locality, ...) live here and are irrelevant
+//     to the work-conservation proof.
+//  3. Steal — performed with both runqueues locked; the filter predicate is
+//     re-validated because the selection made in steps 1-2 is optimistic
+//     and may be stale.
+//
+// The package provides both a sequential round executor (§4.2, operations
+// do not overlap) and a concurrent one (§4.3, selections are stale and
+// steals serialize in an adversary-chosen order), plus the predicates and
+// potential functions used by the proofs in internal/verify.
+package sched
+
+import "fmt"
+
+// TaskID uniquely identifies a task within a Machine.
+type TaskID int64
+
+// DefaultWeight is the load weight of a task with default "niceness",
+// following the Linux convention of 1024 for a nice-0 task. The simple
+// Delta2 balancer (Listing 1 of the paper) ignores weights; the Weighted
+// balancer balances the sum of weights.
+const DefaultWeight = 1024
+
+// Task is a schedulable entity. In the verification model a task is fully
+// described by its identity and weight; the simulator (internal/sim)
+// attaches execution state separately so that the verified model stays
+// minimal.
+type Task struct {
+	// ID identifies the task. IDs are unique within a machine.
+	ID TaskID
+	// Weight is the task's share of CPU, used by weighted policies.
+	// Must be > 0. DefaultWeight for a default task.
+	Weight int64
+	// NodeHint is the NUMA node the task prefers, or -1 for no
+	// preference. Only step-2 (Choose) heuristics look at it, so it
+	// never affects work-conservation proofs.
+	NodeHint int
+}
+
+// NewTask returns a task with the default weight and no NUMA preference.
+func NewTask(id TaskID) *Task {
+	return &Task{ID: id, Weight: DefaultWeight, NodeHint: -1}
+}
+
+// NewWeightedTask returns a task with the given weight.
+func NewWeightedTask(id TaskID, weight int64) *Task {
+	if weight <= 0 {
+		panic(fmt.Sprintf("sched: task %d weight must be positive, got %d", id, weight))
+	}
+	return &Task{ID: id, Weight: weight, NodeHint: -1}
+}
+
+// Clone returns an independent copy of the task.
+func (t *Task) Clone() *Task {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	return &c
+}
+
+// String implements fmt.Stringer.
+func (t *Task) String() string {
+	if t == nil {
+		return "task(nil)"
+	}
+	if t.Weight == DefaultWeight {
+		return fmt.Sprintf("task(%d)", t.ID)
+	}
+	return fmt.Sprintf("task(%d,w=%d)", t.ID, t.Weight)
+}

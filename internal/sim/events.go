@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// mathLog avoids importing math in two files.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// eventKind discriminates simulator events.
+type eventKind int8
+
+const (
+	// evSliceEnd fires when a core's current task exhausts its run slice
+	// (action completion or preemption quantum).
+	evSliceEnd eventKind = iota
+	// evWake fires when a blocked task becomes runnable.
+	evWake
+	// evSpawn fires when a new task arrives.
+	evSpawn
+	// evBalance fires a load-balancing round.
+	evBalance
+)
+
+// event is one scheduled simulator event. seq breaks time ties
+// deterministically (FIFO among same-time events).
+type event struct {
+	time int64
+	seq  uint64
+	kind eventKind
+
+	core    int    // evSliceEnd: the core; evSpawn: arrival core
+	task    int64  // evSliceEnd/evWake/evSpawn: the task
+	runSeq  uint64 // evSliceEnd: validity token (stale slices are ignored)
+	spawnID int    // evSpawn: index into pending spawn descriptors
+}
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// push schedules e on the queue.
+func (q *eventQueue) push(e *event) { heap.Push(q, e) }
+
+// pop removes and returns the earliest event, or nil when empty.
+func (q *eventQueue) pop() *event {
+	if len(*q) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*event)
+}
+
+// peekTime returns the earliest event time, or math.MaxInt64 when empty.
+func (q eventQueue) peekTime() int64 {
+	if len(q) == 0 {
+		return math.MaxInt64
+	}
+	return q[0].time
+}

@@ -1,0 +1,451 @@
+// Package sim is a deterministic discrete-event simulator of a multicore
+// machine driven by the paper's scheduler model: per-core runqueues,
+// round-robin preemption within a core, task lifecycle
+// (spawn/run/block/wake/exit), and periodic load-balancing rounds
+// executing the three-step Filter/Choose/Steal protocol — by default in
+// the optimistic concurrent mode (stale selections, serialized steals in
+// a random order).
+//
+// The simulator substitutes for the paper's Linux testbed: it is where
+// the §1 motivation experiments (wasted cores under the CFS group-
+// imbalance bug) are reproduced, with virtual time standing in for
+// wall-clock time. One tick is conventionally 1µs, making the default
+// 4000-tick balance period the paper's 4ms CFS interval.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// RoundMode selects how balancing rounds execute.
+type RoundMode int8
+
+const (
+	// RoundConcurrent runs rounds optimistically: all cores select
+	// against the round-start snapshot, steals serialize in a random
+	// order (the default; matches §3.1).
+	RoundConcurrent RoundMode = iota
+	// RoundSequential runs rounds in the §4.2 no-overlap mode.
+	RoundSequential
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Cores is the machine width. Required.
+	Cores int
+	// Policy is the balancing policy. Required.
+	Policy sched.Policy
+	// Groups optionally assigns cores to scheduling groups (NUMA nodes).
+	Groups []int
+	// BalancePeriod is the tick interval between rounds (default 4000).
+	BalancePeriod int64
+	// Quantum is the preemption timeslice (default 1000).
+	Quantum int64
+	// Mode selects concurrent (default) or sequential rounds.
+	Mode RoundMode
+	// Seed drives the deterministic RNG (default 1).
+	Seed uint64
+	// Ring, when non-nil, receives trace events.
+	Ring *trace.Ring
+	// IdleBalance makes a core that runs out of work immediately attempt
+	// one three-step steal instead of waiting for the next periodic
+	// round — CFS's idle balancing, and the lever for the "reactivity"
+	// property the paper leaves as future work. Work conservation does
+	// not depend on it; the inter-round wasted time does.
+	IdleBalance bool
+}
+
+// Simulator is the discrete-event engine. Create with New, populate with
+// SpawnAt, drive with Run.
+type Simulator struct {
+	cfg    Config
+	m      *sched.Machine
+	rng    *RNG
+	clock  int64
+	seq    uint64
+	q      eventQueue
+	tasks  map[int64]*taskState
+	parked map[int64]*sched.Task // blocked tasks, off every runqueue
+	spawn  []spawnDesc
+
+	// measurement
+	completions metrics.Counter
+	preemptions metrics.Counter
+	steals      metrics.Counter
+	stealFails  metrics.Counter
+	rounds      metrics.Counter
+	latency     *metrics.Histogram
+	waitTime    *metrics.Histogram
+	violations  *metrics.ViolationTracker
+}
+
+type taskStatus int8
+
+const (
+	statusPending taskStatus = iota
+	statusReady
+	statusRunning
+	statusBlocked
+	statusExited
+)
+
+type taskState struct {
+	id         int64
+	behavior   Behavior
+	status     taskStatus
+	action     Action
+	remaining  int64
+	sliceStart int64
+	runSeq     uint64
+	lastCore   int
+	arrival    int64
+	readySince int64
+}
+
+type spawnDesc struct {
+	core     int
+	weight   int64
+	behavior Behavior
+}
+
+// New builds a simulator. Panics on invalid configuration — a config is
+// code, not input.
+func New(cfg Config) *Simulator {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("sim: %d cores", cfg.Cores))
+	}
+	if cfg.Policy == nil {
+		panic("sim: nil policy")
+	}
+	if cfg.BalancePeriod <= 0 {
+		cfg.BalancePeriod = 4000
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Groups != nil && len(cfg.Groups) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d group assignments for %d cores", len(cfg.Groups), cfg.Cores))
+	}
+	s := &Simulator{
+		cfg:        cfg,
+		m:          sched.NewMachine(cfg.Cores),
+		rng:        NewRNG(cfg.Seed),
+		tasks:      make(map[int64]*taskState),
+		parked:     make(map[int64]*sched.Task),
+		latency:    metrics.NewHistogram(32),
+		waitTime:   metrics.NewHistogram(32),
+		violations: metrics.NewViolationTracker(0),
+	}
+	for id, g := range cfg.Groups {
+		s.m.Core(id).Group = g
+		s.m.Core(id).Node = g
+	}
+	s.post(&event{time: cfg.BalancePeriod, kind: evBalance})
+	return s
+}
+
+// Machine exposes the simulated machine for inspection (tests, metrics).
+// Callers must not mutate it.
+func (s *Simulator) Machine() *sched.Machine { return s.m }
+
+// Clock returns the current virtual time.
+func (s *Simulator) Clock() int64 { return s.clock }
+
+// RNG returns the simulation's deterministic random stream, shared with
+// workload generators so a single seed fixes the whole run.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// SpawnAt schedules a task arrival: at time t, a task with the given
+// weight and behavior appears on core's runqueue.
+func (s *Simulator) SpawnAt(t int64, core int, weight int64, b Behavior) {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("sim: SpawnAt on core %d of %d", core, s.cfg.Cores))
+	}
+	if b == nil {
+		panic("sim: SpawnAt with nil behavior")
+	}
+	if t < s.clock {
+		panic(fmt.Sprintf("sim: SpawnAt(%d) in the past (clock %d)", t, s.clock))
+	}
+	s.spawn = append(s.spawn, spawnDesc{core: core, weight: weight, behavior: b})
+	s.post(&event{time: t, kind: evSpawn, core: core, spawnID: len(s.spawn) - 1})
+}
+
+func (s *Simulator) post(e *event) {
+	s.seq++
+	e.seq = s.seq
+	s.q.push(e)
+}
+
+func (s *Simulator) emit(kind trace.Kind, core int, task int64, aux int64) {
+	s.cfg.Ring.Emit(trace.Event{Time: s.clock, Kind: kind, Core: core, Task: task, Aux: aux})
+}
+
+// Run processes events until the virtual clock reaches `until`, then
+// returns the accumulated statistics. Run may be called repeatedly with
+// increasing horizons.
+func (s *Simulator) Run(until int64) Stats {
+	for s.q.peekTime() <= until {
+		e := s.q.pop()
+		s.clock = e.time
+		switch e.kind {
+		case evSpawn:
+			s.handleSpawn(e)
+		case evSliceEnd:
+			s.handleSliceEnd(e)
+		case evWake:
+			s.handleWake(e)
+		case evBalance:
+			s.handleBalance()
+		}
+		s.observe()
+	}
+	s.clock = until
+	s.observe()
+	return s.snapshot()
+}
+
+// observe feeds the violation tracker with the current occupancy.
+func (s *Simulator) observe() {
+	idle := 0
+	over := false
+	for _, c := range s.m.Cores {
+		if c.Idle() {
+			idle++
+		}
+		if c.Overloaded() {
+			over = true
+		}
+	}
+	if idle > 0 && over {
+		s.emit(trace.KindViolation, -1, -1, int64(idle))
+	}
+	s.violations.Observe(s.clock, idle, over)
+}
+
+func (s *Simulator) handleSpawn(e *event) {
+	d := s.spawn[e.spawnID]
+	task := s.m.Spawn(d.core, d.weight)
+	ts := &taskState{
+		id:         int64(task.ID),
+		behavior:   d.behavior,
+		status:     statusReady,
+		lastCore:   d.core,
+		arrival:    s.clock,
+		readySince: s.clock,
+	}
+	s.nextAction(ts)
+	s.tasks[ts.id] = ts
+	s.emit(trace.KindSpawn, d.core, ts.id, -1)
+	s.startIfIdle(d.core)
+}
+
+// nextAction pulls the next action from the behavior and arms remaining.
+func (s *Simulator) nextAction(ts *taskState) {
+	ts.action = ts.behavior.Next(s.clock, s.rng)
+	if ts.action.RunFor < 1 {
+		ts.action.RunFor = 1
+	}
+	ts.remaining = ts.action.RunFor
+}
+
+// startIfIdle promotes a ready task if the core runs nothing, and arms
+// its slice event. With IdleBalance, a core with nothing to promote
+// first tries one immediate steal.
+func (s *Simulator) startIfIdle(core int) {
+	c := s.m.Core(core)
+	if c.Current != nil {
+		return
+	}
+	if len(c.Ready) == 0 && s.cfg.IdleBalance {
+		s.idleBalance(core)
+	}
+	if c.Current != nil || len(c.Ready) == 0 {
+		return
+	}
+	t := c.ScheduleLocal()
+	ts := s.tasks[int64(t.ID)]
+	ts.status = statusRunning
+	ts.lastCore = core
+	s.waitTime.Record(s.clock - ts.readySince)
+	s.emit(trace.KindStart, core, ts.id, -1)
+	s.armSlice(core, ts)
+}
+
+// armSlice schedules the end of the current run slice: the sooner of the
+// action finishing and the preemption quantum.
+func (s *Simulator) armSlice(core int, ts *taskState) {
+	slice := ts.remaining
+	if slice > s.cfg.Quantum {
+		slice = s.cfg.Quantum
+	}
+	ts.sliceStart = s.clock
+	ts.runSeq++
+	s.post(&event{time: s.clock + slice, kind: evSliceEnd, core: core, task: ts.id, runSeq: ts.runSeq})
+}
+
+func (s *Simulator) handleSliceEnd(e *event) {
+	ts, ok := s.tasks[e.task]
+	if !ok || ts.runSeq != e.runSeq || ts.status != statusRunning {
+		return // stale slice: the task blocked, exited or was rescheduled
+	}
+	core := s.m.Core(e.core)
+	if core.Current == nil || int64(core.Current.ID) != ts.id {
+		return // defensive: the core runs something else now
+	}
+	ts.remaining -= s.clock - ts.sliceStart
+	if ts.remaining > 0 {
+		// Quantum expiry mid-action: preempt if someone waits.
+		if len(core.Ready) > 0 {
+			s.preempt(core, ts)
+		} else {
+			s.armSlice(e.core, ts)
+		}
+		return
+	}
+	s.transition(core, ts)
+}
+
+func (s *Simulator) preempt(core *sched.Core, ts *taskState) {
+	s.preemptions.Inc()
+	s.emit(trace.KindPreempt, core.ID, ts.id, -1)
+	t := core.Current
+	core.Current = nil
+	core.Push(t)
+	ts.status = statusReady
+	ts.readySince = s.clock
+	s.startIfIdle(core.ID)
+}
+
+// transition applies the task's post-run action.
+func (s *Simulator) transition(core *sched.Core, ts *taskState) {
+	switch ts.action.Then {
+	case ThenExit:
+		core.Current = nil
+		delete(s.tasks, ts.id)
+		ts.status = statusExited
+		s.completions.Inc()
+		s.latency.Record(s.clock - ts.arrival)
+		s.emit(trace.KindExit, core.ID, ts.id, -1)
+		s.startIfIdle(core.ID)
+	case ThenBlock:
+		s.parked[ts.id] = core.Current
+		core.Current = nil
+		ts.status = statusBlocked
+		s.emit(trace.KindBlock, core.ID, ts.id, ts.action.BlockFor)
+		s.post(&event{time: s.clock + ts.action.BlockFor, kind: evWake, task: ts.id})
+		s.startIfIdle(core.ID)
+	case ThenYield:
+		s.nextAction(ts)
+		if len(core.Ready) > 0 {
+			s.preempt(core, ts)
+		} else {
+			s.armSlice(core.ID, ts)
+		}
+	case ThenBarrier:
+		b := ts.action.Barrier
+		if b == nil {
+			panic(fmt.Sprintf("sim: task %d hit ThenBarrier without a barrier", ts.id))
+		}
+		if len(b.waiting)+1 >= b.Need {
+			// Last arrival: release the generation and keep running.
+			b.Generation++
+			for _, id := range b.waiting {
+				s.post(&event{time: s.clock, kind: evWake, task: id})
+			}
+			b.waiting = b.waiting[:0]
+			s.nextAction(ts)
+			s.armSlice(core.ID, ts)
+		} else {
+			b.waiting = append(b.waiting, ts.id)
+			s.parked[ts.id] = core.Current
+			core.Current = nil
+			ts.status = statusBlocked
+			s.emit(trace.KindBlock, core.ID, ts.id, -1)
+			s.startIfIdle(core.ID)
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown transition %d", ts.action.Then))
+	}
+}
+
+func (s *Simulator) handleWake(e *event) {
+	ts, ok := s.tasks[e.task]
+	if !ok || ts.status != statusBlocked {
+		return
+	}
+	core := ts.lastCore // wake where the task last ran (cache locality)
+	ts.status = statusReady
+	ts.readySince = s.clock
+	s.nextAction(ts)
+	s.m.Core(core).Push(s.findTask(ts.id))
+	s.emit(trace.KindWake, core, ts.id, -1)
+	s.startIfIdle(core)
+}
+
+// findTask locates the sched.Task object for a blocked task. Blocked
+// tasks are off every runqueue, so the simulator parks them in a side
+// map; see block/unblock bookkeeping below.
+func (s *Simulator) findTask(id int64) *sched.Task {
+	if t, ok := s.parked[id]; ok {
+		delete(s.parked, id)
+		return t
+	}
+	panic(fmt.Sprintf("sim: task %d not parked", id))
+}
+
+// idleBalance runs one immediate three-step steal attempt on behalf of a
+// newly idle core (selection against the live machine: nothing is stale,
+// exactly the §4.2 isolated case, so the attempt cannot fail spuriously).
+func (s *Simulator) idleBalance(core int) {
+	att := sched.Select(s.cfg.Policy, s.m, core)
+	if att.Victim < 0 {
+		return
+	}
+	sched.Steal(s.cfg.Policy, s.m, &att)
+	if att.Succeeded() {
+		s.steals.Add(int64(att.Moved))
+		s.emit(trace.KindSteal, att.Thief, int64(att.MovedTasks[0]), int64(att.Victim))
+		for _, id := range att.MovedTasks {
+			s.tasks[int64(id)].lastCore = att.Thief
+		}
+	} else {
+		s.stealFails.Inc()
+	}
+}
+
+func (s *Simulator) handleBalance() {
+	s.rounds.Inc()
+	var rr sched.RoundResult
+	if s.cfg.Mode == RoundSequential {
+		rr = sched.SequentialRound(s.cfg.Policy, s.m)
+	} else {
+		rr = sched.ConcurrentRound(s.cfg.Policy, s.m, s.rng.Perm(s.cfg.Cores))
+	}
+	for i := range rr.Attempts {
+		att := &rr.Attempts[i]
+		switch {
+		case att.Succeeded():
+			s.steals.Add(int64(att.Moved))
+			s.emit(trace.KindSteal, att.Thief, int64(att.MovedTasks[0]), int64(att.Victim))
+			for _, id := range att.MovedTasks {
+				s.tasks[int64(id)].lastCore = att.Thief
+			}
+		case att.Reason == sched.FailRevalidation || att.Reason == sched.FailEmptyVictim:
+			s.stealFails.Inc()
+			s.emit(trace.KindStealFail, att.Thief, -1, int64(att.Victim))
+		}
+	}
+	for id := 0; id < s.cfg.Cores; id++ {
+		s.startIfIdle(id)
+	}
+	s.emit(trace.KindRound, -1, -1, int64(rr.TasksMoved()))
+	s.post(&event{time: s.clock + s.cfg.BalancePeriod, kind: evBalance})
+}

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func newSim(cores int, opts ...func(*Config)) *Simulator {
+	cfg := Config{Cores: cores, Policy: policy.NewDelta2(), Seed: 42}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+func TestSingleTaskRunsToCompletion(t *testing.T) {
+	s := newSim(1)
+	s.SpawnAt(0, 0, 1024, RunOnce(5000))
+	st := s.Run(100_000)
+	if st.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", st.Completed)
+	}
+	// Latency should be the service time: arrived at 0, no contention.
+	if got := st.Latency.Max(); got < 5000 || got > 5600 {
+		t.Errorf("latency = %d, want ≈5000", got)
+	}
+	if !s.Machine().Core(0).Idle() {
+		t.Error("core should be idle after completion")
+	}
+}
+
+func TestTwoTasksShareOneCore(t *testing.T) {
+	s := newSim(1)
+	s.SpawnAt(0, 0, 1024, RunOnce(10_000))
+	s.SpawnAt(0, 0, 1024, RunOnce(10_000))
+	st := s.Run(50_000)
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2", st.Completed)
+	}
+	if st.Preemptions == 0 {
+		t.Error("expected quantum preemptions between two tasks")
+	}
+	// Round-robin: both finish near 20k, not one at 10k/one at 20k only
+	// if FIFO-without-preemption. The second to finish is at ≈20k.
+	if max := st.Latency.Max(); max < 19_000 || max > 22_000 {
+		t.Errorf("max latency = %d, want ≈20000", max)
+	}
+}
+
+func TestBalancingRescuesIdleCore(t *testing.T) {
+	s := newSim(2)
+	// Two long tasks arrive on core 0; core 1 idle. The first balance
+	// round (t=4000) must migrate one.
+	s.SpawnAt(0, 0, 1024, RunOnce(50_000))
+	s.SpawnAt(0, 0, 1024, RunOnce(50_000))
+	st := s.Run(200_000)
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2", st.Completed)
+	}
+	if st.Steals == 0 {
+		t.Error("no steal happened")
+	}
+	// With balancing, both tasks run in parallel after t=4000 and finish
+	// around 54k; without, the last would finish at 100k.
+	if max := st.Latency.Max(); max > 60_000 {
+		t.Errorf("max latency = %d, want < 60000 (parallel execution)", max)
+	}
+	// Wasted time: core 1 idle while core 0 overloaded for the first
+	// 4000 ticks only.
+	if st.WastedCoreTicks < 3000 || st.WastedCoreTicks > 5000 {
+		t.Errorf("WastedCoreTicks = %.0f, want ≈4000", st.WastedCoreTicks)
+	}
+}
+
+func TestNullPolicyWastesCores(t *testing.T) {
+	cfg := func(c *Config) { c.Policy = policy.NewNull() }
+	s := newSim(2, cfg)
+	s.SpawnAt(0, 0, 1024, RunOnce(40_000))
+	s.SpawnAt(0, 0, 1024, RunOnce(40_000))
+	st := s.Run(100_000)
+	if st.Steals != 0 {
+		t.Error("null policy stole")
+	}
+	// Core 1 idle while core 0 overloaded for the whole 80k execution.
+	if st.WastedCoreTicks < 75_000 {
+		t.Errorf("WastedCoreTicks = %.0f, want ≈80000", st.WastedCoreTicks)
+	}
+	if st.ViolationEpisodes == 0 {
+		t.Error("no violation episodes recorded")
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	s := newSim(1)
+	// Serve 1000, block 5000, serve 1000, ... 3 iterations then exit.
+	s.SpawnAt(0, 0, 1024, RunBlockLoop(1000, 5000, 3))
+	st := s.Run(100_000)
+	if st.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1", st.Completed)
+	}
+	// Total: 3*(1000+5000) + 1 final tick ≈ 18001.
+	if max := st.Latency.Max(); max < 17_000 || max > 20_000 {
+		t.Errorf("latency = %d, want ≈18000", max)
+	}
+}
+
+func TestWakeGoesToLastCore(t *testing.T) {
+	s := newSim(2)
+	s.SpawnAt(0, 1, 1024, RunBlockLoop(500, 2000, 2))
+	s.Run(20_000)
+	// The task ran on core 1, blocked, woke: it must have returned to
+	// core 1 (no steals should have been needed).
+	ring := trace.NewRing(64)
+	s2 := New(Config{Cores: 2, Policy: policy.NewDelta2(), Ring: ring, Seed: 1})
+	s2.SpawnAt(0, 1, 1024, RunBlockLoop(500, 2000, 2))
+	s2.Run(20_000)
+	for _, e := range ring.Filter(trace.KindWake) {
+		if e.Core != 1 {
+			t.Errorf("wake on core %d, want 1", e.Core)
+		}
+	}
+}
+
+func TestBarrierSynchronization(t *testing.T) {
+	s := newSim(2)
+	b := NewBarrier(2)
+	// Two tasks on two cores, 5 generations of 1000-tick work.
+	s.SpawnAt(0, 0, 1024, BarrierLoop(b, 1000, 5))
+	s.SpawnAt(0, 1, 1024, BarrierLoop(b, 1000, 5))
+	st := s.Run(50_000)
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2", st.Completed)
+	}
+	if b.Generation != 5 {
+		t.Errorf("Generation = %d, want 5", b.Generation)
+	}
+	// Parallel: 5 iterations of ~1000 ticks each ≈ 5000+.
+	if max := st.Latency.Max(); max > 8000 {
+		t.Errorf("latency = %d, want ≈5000 (parallel barriers)", max)
+	}
+}
+
+func TestBarrierStragglerSlowsEveryone(t *testing.T) {
+	// 2 barrier tasks pinned by placement to ONE core (no balancing via
+	// null policy): every generation costs 2x the work.
+	cfg := func(c *Config) { c.Policy = policy.NewNull() }
+	s := newSim(2, cfg)
+	b := NewBarrier(2)
+	s.SpawnAt(0, 0, 1024, BarrierLoop(b, 1000, 5))
+	s.SpawnAt(0, 0, 1024, BarrierLoop(b, 1000, 5))
+	st := s.Run(50_000)
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2", st.Completed)
+	}
+	if max := st.Latency.Max(); max < 9_000 {
+		t.Errorf("latency = %d, want ≈10000 (serialized barriers)", max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		s := newSim(4)
+		for i := 0; i < 16; i++ {
+			s.SpawnAt(int64(i*100), i%4, 1024, RunOnce(3000+int64(i)*113))
+		}
+		return s.Run(100_000)
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Steals != b.Steals ||
+		a.WastedCoreTicks != b.WastedCoreTicks ||
+		a.Latency.Mean() != b.Latency.Mean() {
+		t.Errorf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+func TestSequentialVsConcurrentMode(t *testing.T) {
+	for _, mode := range []RoundMode{RoundSequential, RoundConcurrent} {
+		s := newSim(4, func(c *Config) { c.Mode = mode })
+		for i := 0; i < 8; i++ {
+			s.SpawnAt(0, 0, 1024, RunOnce(20_000))
+		}
+		st := s.Run(200_000)
+		if st.Completed != 8 {
+			t.Errorf("mode %d: Completed = %d, want 8", mode, st.Completed)
+		}
+		if st.Steals == 0 {
+			t.Errorf("mode %d: no steals", mode)
+		}
+	}
+}
+
+func TestStealFailuresHappenUnderContention(t *testing.T) {
+	// Many idle cores fighting over one overloaded core's few tasks in
+	// concurrent mode must produce some failed optimistic attempts.
+	s := newSim(8)
+	for i := 0; i < 10; i++ {
+		s.SpawnAt(0, 0, 1024, RunOnce(100_000))
+	}
+	st := s.Run(400_000)
+	if st.StealFails == 0 {
+		t.Error("expected failed optimistic steals under contention")
+	}
+	if st.Completed != 10 {
+		t.Errorf("Completed = %d, want 10", st.Completed)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	ring := trace.NewRing(1024)
+	s := New(Config{Cores: 2, Policy: policy.NewDelta2(), Ring: ring, Seed: 3})
+	s.SpawnAt(0, 0, 1024, RunOnce(6000))
+	s.SpawnAt(0, 0, 1024, RunOnce(6000))
+	s.Run(50_000)
+	if len(ring.Filter(trace.KindSpawn)) != 2 {
+		t.Errorf("spawn events = %d", len(ring.Filter(trace.KindSpawn)))
+	}
+	if len(ring.Filter(trace.KindExit)) != 2 {
+		t.Errorf("exit events = %d", len(ring.Filter(trace.KindExit)))
+	}
+	if len(ring.Filter(trace.KindSteal)) == 0 {
+		t.Error("no steal events")
+	}
+	if len(ring.Filter(trace.KindRound)) == 0 {
+		t.Error("no round events")
+	}
+}
+
+func TestRunIsResumable(t *testing.T) {
+	s := newSim(1)
+	s.SpawnAt(0, 0, 1024, RunOnce(10_000))
+	st1 := s.Run(5_000)
+	if st1.Completed != 0 {
+		t.Errorf("completed early: %d", st1.Completed)
+	}
+	st2 := s.Run(20_000)
+	if st2.Completed != 1 {
+		t.Errorf("Completed = %d, want 1", st2.Completed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no cores", Config{Policy: policy.NewDelta2()}},
+		{"no policy", Config{Cores: 2}},
+		{"bad groups", Config{Cores: 2, Policy: policy.NewDelta2(), Groups: []int{0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			New(tc.cfg)
+		})
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	s := newSim(1)
+	for _, f := range []func(){
+		func() { s.SpawnAt(0, 5, 1024, RunOnce(1)) }, // bad core
+		func() { s.SpawnAt(0, 0, 1024, nil) },        // nil behavior
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpawnInThePastPanics(t *testing.T) {
+	s := newSim(1)
+	s.SpawnAt(0, 0, 1024, RunOnce(100))
+	s.Run(10_000)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.SpawnAt(5, 0, 1024, RunOnce(1))
+}
+
+func TestMachineStaysValid(t *testing.T) {
+	s := newSim(4)
+	b := NewBarrier(3)
+	for i := 0; i < 3; i++ {
+		s.SpawnAt(int64(i*500), 0, 1024, BarrierLoop(b, 2000, 10))
+	}
+	for i := 0; i < 6; i++ {
+		s.SpawnAt(int64(i*1000), i%4, 1024, RunBlockLoop(800, 1500, 8))
+	}
+	for step := int64(10_000); step <= 100_000; step += 10_000 {
+		s.Run(step)
+		if err := s.Machine().Validate(); err != nil {
+			t.Fatalf("at t=%d: %v", step, err)
+		}
+	}
+}
+
+func TestRNG(t *testing.T) {
+	r := NewRNG(0) // remapped seed
+	if r.Uint64() == 0 {
+		t.Error("zero state not remapped")
+	}
+	r2 := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r2.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn coverage = %d/10", len(seen))
+	}
+	p := r2.Perm(6)
+	mask := 0
+	for _, v := range p {
+		mask |= 1 << v
+	}
+	if mask != 63 {
+		t.Errorf("Perm not a permutation: %v", p)
+	}
+	mean := 0.0
+	for i := 0; i < 10_000; i++ {
+		mean += float64(r2.ExpTicks(100))
+	}
+	mean /= 10_000
+	if mean < 80 || mean > 120 {
+		t.Errorf("ExpTicks mean = %.1f, want ≈100", mean)
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, f := range []func(){
+		func() { r.Intn(0) },
+		func() { r.Int63n(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

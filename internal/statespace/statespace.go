@@ -1,0 +1,224 @@
+// Package statespace provides bounded enumeration and exploration
+// utilities over scheduler machine states. internal/verify uses it to
+// replace the paper's Leon deductive proofs with exhaustive checking:
+// every lemma quantified over "all machines" is checked over all machines
+// up to a bound (cores × threads × weights), and every claim about
+// concurrent rounds is checked over all adversarial steal orders.
+package statespace
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Universe describes a bounded set of machine states to enumerate.
+type Universe struct {
+	// Cores is the number of cores of every enumerated machine.
+	Cores int
+	// MaxPerCore bounds the threads owned by a single core.
+	MaxPerCore int
+	// MaxTotal bounds the total thread count (0 means Cores*MaxPerCore).
+	MaxTotal int
+	// Weights is the set of task weights to draw from; nil means
+	// unit-weight tasks only. Weighted universes grow quickly; keep the
+	// set small (≤ 2 weights) for exhaustive runs.
+	Weights []int64
+	// IncludeUnscheduled also enumerates states where a core has queued
+	// tasks but no current task (e.g. just after its current exited).
+	// These states exercise the Idle/Overloaded corner cases.
+	IncludeUnscheduled bool
+	// Groups optionally assigns each core to a scheduling group (and
+	// NUMA node), for verifying hierarchical policies. Length must equal
+	// Cores when set.
+	Groups []int
+}
+
+// Size returns the number of states Enumerate will produce. It mirrors
+// Enumerate's loop structure rather than a closed formula so the two can
+// never disagree.
+func (u Universe) Size() int {
+	n := 0
+	u.enumerate(func(*sched.Machine) bool { n++; return true })
+	return n
+}
+
+// Enumerate calls fn for every machine in the universe. fn may mutate the
+// machine it receives (each call gets a fresh one). Enumeration stops
+// early if fn returns false; Enumerate reports whether it ran to
+// completion.
+func (u Universe) Enumerate(fn func(*sched.Machine) bool) bool {
+	return u.enumerate(fn)
+}
+
+func (u Universe) enumerate(fn func(*sched.Machine) bool) bool {
+	if u.Cores <= 0 {
+		panic(fmt.Sprintf("statespace: universe with %d cores", u.Cores))
+	}
+	maxTotal := u.MaxTotal
+	if maxTotal == 0 {
+		maxTotal = u.Cores * u.MaxPerCore
+	}
+	weights := u.Weights
+	if len(weights) == 0 {
+		// Default to the canonical unit weight so enumerated states share
+		// keys with machines built by sched.MachineFromLoads.
+		weights = []int64{sched.DefaultWeight}
+	}
+	// Enumerate per-core thread counts, then (optionally) the scheduled
+	// bit, then weight assignments.
+	counts := make([]int, u.Cores)
+	var rec func(core, total int) bool
+	rec = func(core, total int) bool {
+		if core == u.Cores {
+			return u.enumerateSchedBits(counts, weights, fn)
+		}
+		for n := 0; n <= u.MaxPerCore && total+n <= maxTotal; n++ {
+			counts[core] = n
+			if !rec(core+1, total+n) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// enumerateSchedBits expands one thread-count vector into machines: for
+// each loaded core, either the first thread is running (always) or — when
+// IncludeUnscheduled — all threads are queued.
+func (u Universe) enumerateSchedBits(counts []int, weights []int64, fn func(*sched.Machine) bool) bool {
+	loaded := 0
+	for _, n := range counts {
+		if n > 0 {
+			loaded++
+		}
+	}
+	variants := 1
+	if u.IncludeUnscheduled {
+		variants = 1 << loaded
+	}
+	for v := 0; v < variants; v++ {
+		ok := u.enumerateWeights(counts, v, weights, fn)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// enumerateWeights expands one (counts, scheduled-bits) pair over all
+// weight assignments. To keep the space canonical, weights within a
+// core's queue are non-decreasing (queue order is irrelevant to
+// policies that pick tasks by weight).
+func (u Universe) enumerateWeights(counts []int, schedBits int, weights []int64, fn func(*sched.Machine) bool) bool {
+	specs := make([]sched.CoreSpec, len(counts))
+	loadedIdx := 0
+	if u.Groups != nil && len(u.Groups) != len(counts) {
+		panic(fmt.Sprintf("statespace: %d group assignments for %d cores", len(u.Groups), len(counts)))
+	}
+	var rec func(core int) bool
+	rec = func(core int) bool {
+		if core == len(counts) {
+			m := sched.MachineFromSpec(specs...)
+			for id, g := range u.Groups {
+				m.Core(id).Group = g
+				m.Core(id).Node = g
+			}
+			return fn(m)
+		}
+		n := counts[core]
+		if n == 0 {
+			specs[core] = sched.CoreSpec{}
+			return rec(core + 1)
+		}
+		idx := loadedIdx
+		loadedIdx++
+		unscheduled := u.IncludeUnscheduled && schedBits&(1<<idx) != 0
+		ok := enumerateCoreWeights(n, weights, func(ws []int64) bool {
+			if unscheduled {
+				specs[core] = sched.CoreSpec{Queued: append([]int64(nil), ws...)}
+			} else {
+				specs[core] = sched.CoreSpec{Running: ws[0], Queued: append([]int64(nil), ws[1:]...)}
+			}
+			return rec(core + 1)
+		})
+		loadedIdx--
+		return ok
+	}
+	return rec(0)
+}
+
+// enumerateCoreWeights yields every non-decreasing weight vector of length
+// n drawn from weights.
+func enumerateCoreWeights(n int, weights []int64, fn func([]int64) bool) bool {
+	ws := make([]int64, n)
+	var rec func(i, minIdx int) bool
+	rec = func(i, minIdx int) bool {
+		if i == n {
+			return fn(ws)
+		}
+		for w := minIdx; w < len(weights); w++ {
+			ws[i] = weights[w]
+			if !rec(i+1, w) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, 0)
+}
+
+// Permutations calls fn with every permutation of [0, n), reusing one
+// backing slice. fn must not retain the slice. Iteration stops early if fn
+// returns false; Permutations reports whether it ran to completion.
+// Classic Heap's algorithm, allocation-free per permutation.
+func Permutations(n int, fn func([]int) bool) bool {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if n == 0 {
+		return fn(perm)
+	}
+	c := make([]int, n)
+	if !fn(perm) {
+		return false
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if !fn(perm) {
+				return false
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return true
+}
+
+// Visited is a set of canonical machine keys, used for cycle detection and
+// fixpoint exploration.
+type Visited map[string]bool
+
+// Add inserts the machine's key and reports whether it was new.
+func (v Visited) Add(m *sched.Machine) bool {
+	k := m.Key()
+	if v[k] {
+		return false
+	}
+	v[k] = true
+	return true
+}
+
+// Has reports whether the machine's key is present.
+func (v Visited) Has(m *sched.Machine) bool { return v[m.Key()] }

@@ -1,0 +1,185 @@
+package statespace
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestUniverseEnumerateCounts(t *testing.T) {
+	// 2 cores, up to 2 threads each, unit weights, scheduled-only:
+	// counts (0,0),(0,1),(0,2),(1,0),(1,1),(1,2),(2,0),(2,1),(2,2) = 9.
+	u := Universe{Cores: 2, MaxPerCore: 2}
+	if got := u.Size(); got != 9 {
+		t.Errorf("Size = %d, want 9", got)
+	}
+}
+
+func TestUniverseMaxTotal(t *testing.T) {
+	u := Universe{Cores: 2, MaxPerCore: 2, MaxTotal: 2}
+	// (0,0),(0,1),(0,2),(1,0),(1,1),(2,0) = 6.
+	if got := u.Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+	u.Enumerate(func(m *sched.Machine) bool {
+		if m.TotalThreads() > 2 {
+			t.Errorf("machine %v exceeds MaxTotal", m.Loads())
+		}
+		return true
+	})
+}
+
+func TestUniverseIncludeUnscheduled(t *testing.T) {
+	// 1 core, up to 1 thread: states are (), (running), (queued-only) = 3.
+	u := Universe{Cores: 1, MaxPerCore: 1, IncludeUnscheduled: true}
+	if got := u.Size(); got != 3 {
+		t.Errorf("Size = %d, want 3", got)
+	}
+	seenUnscheduled := false
+	u.Enumerate(func(m *sched.Machine) bool {
+		c := m.Core(0)
+		if c.Current == nil && len(c.Ready) == 1 {
+			seenUnscheduled = true
+		}
+		return true
+	})
+	if !seenUnscheduled {
+		t.Error("unscheduled state not enumerated")
+	}
+}
+
+func TestUniverseWeights(t *testing.T) {
+	// 1 core, exactly 2 threads, weights {1,2}: non-decreasing vectors
+	// (1,1),(1,2),(2,2) = 3, plus counts 0 and 1 states: (0 threads)=1,
+	// (1 thread)=2 → total 6.
+	u := Universe{Cores: 1, MaxPerCore: 2, Weights: []int64{1, 2}}
+	if got := u.Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+	distinct := make(Visited)
+	u.Enumerate(func(m *sched.Machine) bool {
+		if !distinct.Add(m) {
+			t.Errorf("duplicate state %q", m.Key())
+		}
+		return true
+	})
+}
+
+func TestUniverseStatesAreValidAndFresh(t *testing.T) {
+	u := Universe{Cores: 3, MaxPerCore: 2, IncludeUnscheduled: true}
+	var prev *sched.Machine
+	u.Enumerate(func(m *sched.Machine) bool {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid state: %v", err)
+		}
+		if m == prev {
+			t.Fatal("enumerate reused a machine")
+		}
+		prev = m
+		return true
+	})
+}
+
+func TestUniverseEarlyStop(t *testing.T) {
+	u := Universe{Cores: 2, MaxPerCore: 2}
+	n := 0
+	complete := u.Enumerate(func(*sched.Machine) bool {
+		n++
+		return n < 3
+	})
+	if complete {
+		t.Error("Enumerate should report early stop")
+	}
+	if n != 3 {
+		t.Errorf("visited %d states, want 3", n)
+	}
+}
+
+func TestUniversePanicsWithoutCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-core universe did not panic")
+		}
+	}()
+	Universe{}.Enumerate(func(*sched.Machine) bool { return true })
+}
+
+func TestPermutationsCountAndUniqueness(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24} {
+		seen := make(map[string]bool)
+		Permutations(n, func(p []int) bool {
+			key := ""
+			for _, v := range p {
+				key += string(rune('0' + v))
+			}
+			if seen[key] {
+				t.Errorf("n=%d: duplicate permutation %q", n, key)
+			}
+			seen[key] = true
+			return true
+		})
+		if len(seen) != want {
+			t.Errorf("n=%d: %d permutations, want %d", n, len(seen), want)
+		}
+	}
+}
+
+func TestPermutationsAreValid(t *testing.T) {
+	Permutations(4, func(p []int) bool {
+		seen := [4]bool{}
+		for _, v := range p {
+			if v < 0 || v >= 4 || seen[v] {
+				t.Fatalf("invalid permutation %v", p)
+			}
+			seen[v] = true
+		}
+		return true
+	})
+}
+
+func TestPermutationsEarlyStop(t *testing.T) {
+	n := 0
+	complete := Permutations(3, func([]int) bool {
+		n++
+		return n < 2
+	})
+	if complete || n != 2 {
+		t.Errorf("complete=%v n=%d, want early stop after 2", complete, n)
+	}
+}
+
+func TestVisited(t *testing.T) {
+	v := make(Visited)
+	a := sched.MachineFromLoads(0, 2)
+	b := sched.MachineFromLoads(2, 0)
+	if !v.Add(a) {
+		t.Error("first Add should be new")
+	}
+	if v.Add(a) {
+		t.Error("second Add should not be new")
+	}
+	if v.Has(b) {
+		t.Error("different state reported as visited")
+	}
+	if !v.Has(a) {
+		t.Error("added state not found")
+	}
+}
+
+func TestUniverseCoversDocumentedStates(t *testing.T) {
+	// The §4.3 counterexample machine [0 1 2] must be in the universe the
+	// verifier uses for 3-core checks.
+	u := Universe{Cores: 3, MaxPerCore: 3}
+	target := sched.MachineFromLoads(0, 1, 2).Key()
+	found := false
+	u.Enumerate(func(m *sched.Machine) bool {
+		if m.Key() == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("universe misses the 0/1/2 counterexample state")
+	}
+}

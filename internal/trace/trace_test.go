@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Time: int64(i), Kind: KindSteal, Core: i})
+	}
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Errorf("Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Time != int64(i) {
+			t.Errorf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Emit(Event{Time: int64(i)})
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 4 {
+		t.Errorf("Dropped = %d, want 4", r.Dropped())
+	}
+	evs := r.Events()
+	want := []int64{4, 5, 6}
+	for i, e := range evs {
+		if e.Time != want[i] {
+			t.Errorf("Events[%d].Time = %d, want %d", i, e.Time, want[i])
+		}
+	}
+}
+
+func TestNilRingIsNoop(t *testing.T) {
+	var r *Ring
+	r.Emit(Event{Kind: KindExit}) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Error("nil ring should be inert")
+	}
+}
+
+func TestRingPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRing(10)
+	r.Emit(Event{Kind: KindSteal, Time: 1})
+	r.Emit(Event{Kind: KindStealFail, Time: 2})
+	r.Emit(Event{Kind: KindSteal, Time: 3})
+	steals := r.Filter(KindSteal)
+	if len(steals) != 2 || steals[0].Time != 1 || steals[1].Time != 3 {
+		t.Errorf("Filter = %+v", steals)
+	}
+	if got := r.Filter(KindExit); got != nil {
+		t.Errorf("Filter(exit) = %+v", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(Event{Time: 5, Kind: KindWake, Core: 2, Task: 7, Aux: -1})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0] != (Event{Time: 5, Kind: KindWake, Core: 2, Task: 7, Aux: -1}) {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 3, Kind: KindBlock, Core: 1, Task: 9, Aux: -1}
+	s := e.String()
+	for _, frag := range []string{"3", "block", "core=1", "task=9"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+// AblationResult reports what breaks when the step-3 re-validation
+// (Listing 1 line 12) is removed — experiment E8's ablation.
+type AblationResult struct {
+	// StatesChecked and SchedulesChecked count the explored space.
+	StatesChecked    int
+	SchedulesChecked int
+	// SoundnessViolations counts (state, order) pairs where the
+	// unchecked executor emptied an overloaded victim or otherwise broke
+	// steal soundness.
+	SoundnessViolations int
+	// PotentialViolations counts (state, order) pairs where a round of
+	// unchecked steals increased the pairwise imbalance, destroying the
+	// bounded-successes argument.
+	PotentialViolations int
+	// FirstWitness describes the first violation found.
+	FirstWitness string
+}
+
+// CheckRevalidationAblation runs every state of the universe through
+// every adversarial order twice — once with the safe ConcurrentRound,
+// once with UnsafeConcurrentRound — and records the violations only the
+// unsafe variant commits. A sound policy must show zero violations in the
+// safe half (that is asserted, not counted) and the unsafe half
+// demonstrates why the paper's model requires atomic, re-validated
+// steals.
+func CheckRevalidationAblation(f Factory, u statespace.Universe) AblationResult {
+	var res AblationResult
+	u.Enumerate(func(m *sched.Machine) bool {
+		res.StatesChecked++
+		statespace.Permutations(m.NumCores(), func(order []int) bool {
+			res.SchedulesChecked++
+
+			safe := m.Clone()
+			sched.ConcurrentRound(f(), safe, order)
+			if v := roundViolation(f(), m, safe); v != "" {
+				panic(fmt.Sprintf("verify: safe executor violated soundness: %s", v))
+			}
+
+			unsafe := m.Clone()
+			sched.UnsafeConcurrentRound(f(), unsafe, order)
+			if v := roundViolation(f(), m, unsafe); v != "" {
+				if res.FirstWitness == "" {
+					res.FirstWitness = fmt.Sprintf("state %v order %v: %s", m.Loads(), order, v)
+				}
+				res.SoundnessViolations++
+			}
+			p := f()
+			beginRound(p, m)
+			before := sched.PairwiseImbalance(p, m)
+			after := sched.PairwiseImbalance(p, unsafe)
+			if after > before {
+				if res.FirstWitness == "" {
+					res.FirstWitness = fmt.Sprintf(
+						"state %v order %v: unchecked round raised potential %d -> %d",
+						m.Loads(), order, before, after)
+				}
+				res.PotentialViolations++
+			}
+			return true
+		})
+		return true
+	})
+	return res
+}
+
+// roundViolation reports how a round broke soundness: an overloaded core
+// of the pre-state ended up idle (its work was stolen to exhaustion), the
+// thread population changed, or the machine corrupted.
+func roundViolation(p sched.Policy, before, after *sched.Machine) string {
+	if after.TotalThreads() != before.TotalThreads() {
+		return fmt.Sprintf("thread population %d -> %d", before.TotalThreads(), after.TotalThreads())
+	}
+	if err := after.Validate(); err != nil {
+		return err.Error()
+	}
+	for i, c := range before.Cores {
+		if !c.Idle() && after.Core(i).Idle() {
+			return fmt.Sprintf("core %d was drained to idle (had %d threads)", i, c.NThreads())
+		}
+	}
+	return ""
+}

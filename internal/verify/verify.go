@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/statespace"
+)
+
+// Config parameterizes a verification run.
+type Config struct {
+	// Universe is the bounded state space to quantify over.
+	Universe statespace.Universe
+	// Obligations selects which obligations to check; nil means all.
+	Obligations []ObligationID
+	// MaxRounds caps sequential convergence loops (safety valve for
+	// non-converging policies). Zero means 1000.
+	MaxRounds int
+}
+
+// DefaultUniverse is the bounded universe used when a Config leaves it
+// zero: 3 cores, up to 3 threads per core and 5 in total, including
+// unscheduled states — it contains every machine discussed in the paper
+// (the 0/1/2 counterexample, the two-thieves conflict) while keeping the
+// adversarial game graph small enough for exhaustive exploration.
+func DefaultUniverse() statespace.Universe {
+	return statespace.Universe{
+		Cores:              3,
+		MaxPerCore:         3,
+		MaxTotal:           5,
+		IncludeUnscheduled: true,
+	}
+}
+
+// AllObligations lists every obligation in report order.
+func AllObligations() []ObligationID {
+	return []ObligationID{
+		ObLemma1,
+		ObStealSoundness,
+		ObPotentialDecrease,
+		ObFailureImpliesSucc,
+		ObWorkConservSeq,
+		ObWorkConservConc,
+		ObChoiceIndependence,
+		ObReactivity,
+	}
+}
+
+// Policy verifies the policy produced by f against the paper's proof
+// obligations over the configured bounded universe and returns the full
+// report. This is the library's analogue of running the paper's Leon
+// pipeline on a DSL policy.
+func Policy(name string, f Factory, cfg Config) *Report {
+	u := cfg.Universe
+	if u.Cores == 0 {
+		u = DefaultUniverse()
+	}
+	obligations := cfg.Obligations
+	if obligations == nil {
+		obligations = AllObligations()
+	}
+	rep := &Report{
+		Policy: name,
+		Universe: fmt.Sprintf("universe{cores:%d maxPerCore:%d maxTotal:%d weights:%v unscheduled:%v groups:%v}",
+			u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups),
+	}
+	for _, id := range obligations {
+		var r Result
+		switch id {
+		case ObLemma1:
+			r = CheckLemma1(f, u)
+		case ObStealSoundness:
+			r = CheckStealSoundness(f, u)
+		case ObPotentialDecrease:
+			r = CheckPotentialDecrease(f, u)
+		case ObFailureImpliesSucc:
+			r = CheckFailureImpliesSuccess(f, u)
+		case ObWorkConservSeq:
+			r = CheckWorkConservationSequential(f, u, cfg.MaxRounds)
+		case ObWorkConservConc:
+			r = CheckWorkConservationConcurrent(f, u)
+		case ObChoiceIndependence:
+			r = CheckChoiceIndependence(f, u)
+		case ObReactivity:
+			r = CheckReactivity(f, u)
+		default:
+			panic(fmt.Sprintf("verify: unknown obligation %q", id))
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}

@@ -1,0 +1,398 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+func delta2Factory() sched.Policy   { return policy.NewDelta2() }
+func weightedFactory() sched.Policy { return policy.NewWeighted() }
+func greedyFactory() sched.Policy   { return policy.NewGreedyBuggy() }
+
+// smallUniverse keeps individual obligation tests fast.
+func smallUniverse() statespace.Universe {
+	return statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
+}
+
+func TestLemma1Delta2(t *testing.T) {
+	r := CheckLemma1(delta2Factory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("Lemma 1 failed for Delta2: %s", r.Witness)
+	}
+	if r.StatesChecked == 0 {
+		t.Error("no states checked")
+	}
+}
+
+func TestLemma1Weighted(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
+		Weights: []int64{1, 3}, IncludeUnscheduled: true}
+	r := CheckLemma1(weightedFactory, u)
+	if !r.Passed {
+		t.Fatalf("Lemma 1 failed for Weighted: %s", r.Witness)
+	}
+}
+
+func TestLemma1GreedyHoldsSequentially(t *testing.T) {
+	// The §4.3 point: the buggy greedy filter is fine by the sequential
+	// lemma — only concurrency breaks it.
+	r := CheckLemma1(greedyFactory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("Lemma 1 should hold for GreedyBuggy: %s", r.Witness)
+	}
+}
+
+func TestLemma1CatchesBadFilter(t *testing.T) {
+	// A filter that steals from non-overloaded cores must fail the
+	// forall direction.
+	f := func() sched.Policy {
+		return &sched.FuncPolicy{
+			PolicyName: "steal-anything",
+			LoadFn:     func(c *sched.Core) int64 { return int64(c.NThreads()) },
+			FilterFn:   func(_, s *sched.Core) bool { return s.NThreads() >= 1 },
+		}
+	}
+	r := CheckLemma1(f, smallUniverse())
+	if r.Passed {
+		t.Fatal("steal-anything filter passed Lemma 1")
+	}
+	if !strings.Contains(r.Witness, "non-overloaded") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+}
+
+func TestLemma1CatchesTimidFilter(t *testing.T) {
+	// A filter that never steals fails the exists direction.
+	r := CheckLemma1(func() sched.Policy { return policy.NewNull() }, smallUniverse())
+	if r.Passed {
+		t.Fatal("null policy passed Lemma 1")
+	}
+	if !strings.Contains(r.Witness, "no candidate") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+}
+
+func TestStealSoundnessDelta2(t *testing.T) {
+	r := CheckStealSoundness(delta2Factory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("steal soundness failed for Delta2: %s", r.Witness)
+	}
+}
+
+func TestStealSoundnessWeighted(t *testing.T) {
+	u := statespace.Universe{Cores: 2, MaxPerCore: 3, Weights: []int64{1, 2, 5}, IncludeUnscheduled: true}
+	r := CheckStealSoundness(weightedFactory, u)
+	if !r.Passed {
+		t.Fatalf("steal soundness failed for Weighted: %s", r.Witness)
+	}
+}
+
+func TestStealSoundnessCatchesDraining(t *testing.T) {
+	// Delta1Aggressive can steal a core's only (queued) thread.
+	r := CheckStealSoundness(func() sched.Policy { return policy.NewDelta1Aggressive() },
+		statespace.Universe{Cores: 2, MaxPerCore: 2, IncludeUnscheduled: true})
+	if r.Passed {
+		t.Fatal("Delta1Aggressive passed steal soundness")
+	}
+	if !strings.Contains(r.Witness, "emptied") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+}
+
+func TestPotentialDecreaseDelta2(t *testing.T) {
+	r := CheckPotentialDecrease(delta2Factory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("potential decrease failed for Delta2: %s", r.Witness)
+	}
+}
+
+func TestPotentialDecreaseWeighted(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
+		Weights: []int64{1, 4}, IncludeUnscheduled: true}
+	r := CheckPotentialDecrease(weightedFactory, u)
+	if !r.Passed {
+		t.Fatalf("potential decrease failed for Weighted: %s", r.Witness)
+	}
+}
+
+func TestPotentialDecreaseFailsForGreedy(t *testing.T) {
+	r := CheckPotentialDecrease(greedyFactory, smallUniverse())
+	if r.Passed {
+		t.Fatal("GreedyBuggy passed the potential-decrease obligation")
+	}
+	if !strings.Contains(r.Witness, "no strict decrease") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+}
+
+func TestFailureImpliesSuccessDelta2(t *testing.T) {
+	r := CheckFailureImpliesSuccess(delta2Factory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("failure-implies-success failed for Delta2: %s", r.Witness)
+	}
+	if r.SchedulesChecked == 0 {
+		t.Error("no schedules checked")
+	}
+}
+
+func TestFailureImpliesSuccessGreedy(t *testing.T) {
+	// Even the buggy policy satisfies this obligation: its failures are
+	// always caused by successes — the problem is that successes are
+	// unbounded, which is the *other* obligation.
+	r := CheckFailureImpliesSuccess(greedyFactory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("failure-implies-success failed for GreedyBuggy: %s", r.Witness)
+	}
+}
+
+func TestWorkConservationSequentialDelta2(t *testing.T) {
+	r := CheckWorkConservationSequential(delta2Factory, smallUniverse(), 0)
+	if !r.Passed {
+		t.Fatalf("sequential WC failed for Delta2: %s", r.Witness)
+	}
+	if r.Bound < 1 {
+		t.Errorf("worst-case N = %d, expected at least 1 round somewhere", r.Bound)
+	}
+}
+
+func TestWorkConservationSequentialGreedy(t *testing.T) {
+	// §4.2 vs §4.3: greedy is work-conserving without concurrency.
+	r := CheckWorkConservationSequential(greedyFactory, smallUniverse(), 0)
+	if !r.Passed {
+		t.Fatalf("sequential WC failed for GreedyBuggy: %s", r.Witness)
+	}
+}
+
+func TestWorkConservationSequentialNullFails(t *testing.T) {
+	r := CheckWorkConservationSequential(func() sched.Policy { return policy.NewNull() },
+		smallUniverse(), 0)
+	if r.Passed {
+		t.Fatal("null policy passed sequential WC")
+	}
+	if !strings.Contains(r.Witness, "stuck") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+}
+
+func TestWorkConservationConcurrentDelta2(t *testing.T) {
+	r := CheckWorkConservationConcurrent(delta2Factory, smallUniverse())
+	if !r.Passed {
+		t.Fatalf("concurrent WC failed for Delta2: %s", r.Witness)
+	}
+	if r.Bound < 1 {
+		t.Errorf("worst-case N = %d", r.Bound)
+	}
+}
+
+func TestWorkConservationConcurrentGreedyLivelock(t *testing.T) {
+	// The headline result: the explorer must automatically find the
+	// §4.3 ping-pong livelock for the greedy filter.
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
+	r := CheckWorkConservationConcurrent(greedyFactory, u)
+	if r.Passed {
+		t.Fatal("GreedyBuggy passed concurrent WC — livelock not found")
+	}
+	if !strings.Contains(r.Witness, "livelock") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+	t.Logf("counterexample: %s", r.Witness)
+}
+
+func TestWorkConservationConcurrentHierarchical(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4,
+		IncludeUnscheduled: true, Groups: []int{0, 0, 1}}
+	r := CheckWorkConservationConcurrent(func() sched.Policy { return policy.NewHierarchical() }, u)
+	if !r.Passed {
+		t.Fatalf("concurrent WC failed for Hierarchical: %s", r.Witness)
+	}
+}
+
+func TestCFSGroupBuggyFailsLemma1(t *testing.T) {
+	// The motivation bug is caught at the cheapest obligation: with
+	// groups and a heavy thread, an idle thief has no candidate.
+	u := statespace.Universe{Cores: 4, MaxPerCore: 2, MaxTotal: 5,
+		Weights: []int64{1, 8}, Groups: []int{0, 0, 1, 1}}
+	r := CheckLemma1(func() sched.Policy { return policy.NewCFSGroupBuggy() }, u)
+	if r.Passed {
+		t.Fatal("CFSGroupBuggy passed Lemma 1")
+	}
+	if !strings.Contains(r.Witness, "no candidate") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+	t.Logf("counterexample: %s", r.Witness)
+}
+
+func TestHierarchicalPassesLemma1WithGroups(t *testing.T) {
+	u := statespace.Universe{Cores: 4, MaxPerCore: 2, MaxTotal: 4,
+		Groups: []int{0, 0, 1, 1}, IncludeUnscheduled: true}
+	r := CheckLemma1(func() sched.Policy { return policy.NewHierarchical() }, u)
+	if !r.Passed {
+		t.Fatalf("Lemma 1 failed for Hierarchical: %s", r.Witness)
+	}
+}
+
+func TestVerifyPolicyFullReportDelta2(t *testing.T) {
+	rep := Policy("delta2", delta2Factory, Config{Universe: smallUniverse()})
+	if !rep.Passed() {
+		t.Fatalf("Delta2 report failed:\n%s", rep)
+	}
+	if len(rep.Results) != len(AllObligations()) {
+		t.Errorf("results = %d, want %d", len(rep.Results), len(AllObligations()))
+	}
+	if rep.Result(ObLemma1) == nil || rep.Result("nope") != nil {
+		t.Error("Result lookup misbehaves")
+	}
+	if !strings.Contains(rep.String(), "WORK-CONSERVING") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestVerifyPolicyFullReportGreedy(t *testing.T) {
+	rep := Policy("greedy-buggy", greedyFactory, Config{Universe: smallUniverse()})
+	if rep.Passed() {
+		t.Fatal("GreedyBuggy report passed")
+	}
+	failed := rep.Failed()
+	wantFailed := map[ObligationID]bool{
+		ObPotentialDecrease:  true,
+		ObWorkConservConc:    true,
+		ObChoiceIndependence: true, // livelocks regardless of the chooser
+		ObReactivity:         true, // core 0 starves in the ping-pong
+	}
+	for _, id := range failed {
+		if !wantFailed[id] {
+			t.Errorf("unexpected failed obligation %s", id)
+		}
+		delete(wantFailed, id)
+	}
+	for id := range wantFailed {
+		t.Errorf("obligation %s should have failed", id)
+	}
+	if !strings.Contains(rep.String(), "NOT PROVEN") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestVerifyPolicyDefaults(t *testing.T) {
+	rep := Policy("delta2", delta2Factory, Config{
+		Obligations: []ObligationID{ObLemma1},
+	})
+	if len(rep.Results) != 1 || rep.Results[0].ID != ObLemma1 {
+		t.Fatalf("results: %+v", rep.Results)
+	}
+	if !strings.Contains(rep.Universe, "cores:3") {
+		t.Errorf("default universe not applied: %s", rep.Universe)
+	}
+}
+
+func TestVerifyPolicyUnknownObligationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown obligation did not panic")
+		}
+	}()
+	Policy("delta2", delta2Factory, Config{Obligations: []ObligationID{"bogus"}})
+}
+
+func TestChoiceIndependenceDelta2(t *testing.T) {
+	// The paper's structural claim: any step-2 choice preserves work
+	// conservation when the filter is sound. The adversary picks both
+	// the victims and the steal order.
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
+	r := CheckChoiceIndependence(delta2Factory, u)
+	if !r.Passed {
+		t.Fatalf("choice independence failed for Delta2: %s", r.Witness)
+	}
+	// The choice adversary explores strictly more schedules than the
+	// order-only adversary.
+	r2 := CheckWorkConservationConcurrent(delta2Factory, u)
+	if r.SchedulesChecked <= r2.SchedulesChecked {
+		t.Errorf("choice adversary explored %d schedules, order adversary %d",
+			r.SchedulesChecked, r2.SchedulesChecked)
+	}
+}
+
+func TestChoiceIndependenceGreedyFails(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
+	r := CheckChoiceIndependence(greedyFactory, u)
+	if r.Passed {
+		t.Fatal("greedy passed choice independence")
+	}
+	if !strings.Contains(r.Witness, "victims") {
+		t.Errorf("witness should carry victim vectors: %q", r.Witness)
+	}
+}
+
+func TestChoiceIndependenceHierarchical(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
+		IncludeUnscheduled: true, Groups: []int{0, 0, 1}}
+	r := CheckChoiceIndependence(func() sched.Policy { return policy.NewHierarchical() }, u)
+	if !r.Passed {
+		t.Fatalf("choice independence failed for Hierarchical: %s", r.Witness)
+	}
+}
+
+func TestReactivityDelta2(t *testing.T) {
+	// The §1 property the paper lists as unproven: a bound on the delay
+	// before an idle core gets work. For Delta2 the bound exists and is
+	// small over the bounded universe.
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
+	r := CheckReactivity(delta2Factory, u)
+	if !r.Passed {
+		t.Fatalf("reactivity failed for Delta2: %s", r.Witness)
+	}
+	if r.Bound < 1 || r.Bound > 3 {
+		t.Errorf("reactivity bound = %d rounds, want a small positive bound", r.Bound)
+	}
+	t.Logf("delta2 reactivity bound: %d round(s) over %d schedules", r.Bound, r.SchedulesChecked)
+}
+
+func TestReactivityGreedyStarves(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
+	r := CheckReactivity(greedyFactory, u)
+	if r.Passed {
+		t.Fatal("greedy passed reactivity despite the starvation cycle")
+	}
+	if !strings.Contains(r.Witness, "can starve") {
+		t.Errorf("witness = %q", r.Witness)
+	}
+}
+
+func TestReactivityNullFails(t *testing.T) {
+	r := CheckReactivity(func() sched.Policy { return policy.NewNull() },
+		statespace.Universe{Cores: 2, MaxPerCore: 2})
+	if r.Passed {
+		t.Fatal("null policy passed reactivity")
+	}
+}
+
+func TestRevalidationAblation(t *testing.T) {
+	res := CheckRevalidationAblation(delta2Factory,
+		statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true})
+	if res.SoundnessViolations == 0 {
+		t.Error("removing re-validation produced no soundness violations — ablation shows nothing")
+	}
+	if res.FirstWitness == "" {
+		t.Error("no witness recorded")
+	}
+	t.Logf("ablation: %d soundness violations, %d potential violations over %d schedules; e.g. %s",
+		res.SoundnessViolations, res.PotentialViolations, res.SchedulesChecked, res.FirstWitness)
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: ObLemma1, Passed: true, StatesChecked: 10}
+	if !strings.Contains(r.String(), "PASS") {
+		t.Errorf("String = %q", r.String())
+	}
+	r2 := Result{ID: ObWorkConservConc, Passed: false, Witness: "w", StatesChecked: 5, SchedulesChecked: 30, Bound: 4}
+	s := r2.String()
+	for _, frag := range []string{"FAIL", "schedules=30", "worst-N=4", "witness: w"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+// CheckWorkConservationSequential checks the §3.2 definition in the §4.2
+// sequential setting: from every state of the universe, iterating
+// sequential rounds reaches a work-conserved state within a finite number
+// of rounds. Because sequential rounds are deterministic, a repeated
+// non-conserved state is a livelock and a moveless non-conserved round is
+// a stuck violation. The result's Bound is the worst-case N observed —
+// the existential witness of the paper's definition.
+func CheckWorkConservationSequential(f Factory, u statespace.Universe, maxRounds int) Result {
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	res := Result{ID: ObWorkConservSeq, Passed: true}
+	u.Enumerate(func(m *sched.Machine) bool {
+		res.StatesChecked++
+		start := m.Loads()
+		seen := make(statespace.Visited)
+		seen.Add(m)
+		for round := 0; ; round++ {
+			if m.WorkConserved() {
+				if round > res.Bound {
+					res.Bound = round
+				}
+				return true
+			}
+			if round >= maxRounds {
+				res.Passed = false
+				res.Witness = fmt.Sprintf("state %v: no convergence after %d rounds", start, maxRounds)
+				return false
+			}
+			rr := sched.SequentialRound(f(), m)
+			if rr.TasksMoved() == 0 {
+				res.Passed = false
+				res.Witness = fmt.Sprintf(
+					"state %v: stuck at non-conserved %v (no steal possible)", start, m.Loads())
+				return false
+			}
+			if !seen.Add(m) {
+				res.Passed = false
+				res.Witness = fmt.Sprintf(
+					"state %v: sequential rounds cycle through %v without conserving", start, m.Loads())
+				return false
+			}
+		}
+	})
+	return res
+}
+
+// successorFunc enumerates the adversary's one-round successors of a
+// machine state, invoking visit with each resulting state and a label
+// describing the adversarial decisions. Enumeration stops early when
+// visit returns false; the function reports whether it ran to
+// completion.
+type successorFunc func(f Factory, m *sched.Machine, visit func(next *sched.Machine, label string) bool) bool
+
+// orderSuccessors gives the adversary control of the steal serialization
+// order only — the §4.3 model where the policy's own Choose picks
+// victims.
+func orderSuccessors(f Factory, m *sched.Machine, visit func(*sched.Machine, string) bool) bool {
+	return statespace.Permutations(m.NumCores(), func(order []int) bool {
+		next := m.Clone()
+		sched.ConcurrentRound(f(), next, order)
+		return visit(next, fmt.Sprintf("steal-order %v", order))
+	})
+}
+
+// choiceSuccessors gives the adversary control of both the victim chosen
+// in step 2 (any core that passed the filter) and the steal order —
+// checking the paper's claim that the exact choice "does not matter for
+// the correctness proof". The candidate sets come from the policy's own
+// filter against the round-start snapshot.
+func choiceSuccessors(f Factory, m *sched.Machine, visit func(*sched.Machine, string) bool) bool {
+	base := sched.SelectAll(f(), m)
+	atts := make([]sched.Attempt, len(base))
+	var rec func(core int) bool
+	rec = func(core int) bool {
+		if core == len(base) {
+			victims := make([]int, len(atts))
+			for i := range atts {
+				victims[i] = atts[i].Victim
+			}
+			return statespace.Permutations(m.NumCores(), func(order []int) bool {
+				next := m.Clone()
+				sched.ExecuteSteals(f(), next, atts, order)
+				return visit(next, fmt.Sprintf("victims %v steal-order %v", victims, order))
+			})
+		}
+		if base[core].Victim < 0 {
+			atts[core] = base[core]
+			return rec(core + 1)
+		}
+		for _, victim := range base[core].Candidates {
+			atts[core] = base[core]
+			atts[core].Victim = victim
+			if !rec(core + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// concExplorer performs the adversarial game-graph search: states are
+// nodes, with one edge per adversarial decision produced by succ. The
+// adversary wins — the policy is not work-conserving — iff it can reach
+// a cycle of non-conserved states (including self-loops: rounds that
+// change nothing). Otherwise every path reaches conservation and the
+// longest path is the worst-case N.
+type concExplorer struct {
+	f         Factory
+	succ      successorFunc
+	done      func(*sched.Machine) bool // terminal predicate; nil = WorkConserved
+	memo      map[string]int            // state key -> worst rounds to terminal
+	onPath    map[string]bool
+	trace     []traceStep
+	violation string
+	states    int
+	schedules int
+}
+
+func newExplorer(f Factory, succ successorFunc) *concExplorer {
+	return &concExplorer{f: f, succ: succ, memo: make(map[string]int), onPath: make(map[string]bool)}
+}
+
+type traceStep struct {
+	key   string
+	loads []int
+	label string
+}
+
+// done is the terminal predicate of the adversarial game; the default
+// (nil) is work conservation.
+func (e *concExplorer) isDone(m *sched.Machine) bool {
+	if e.done != nil {
+		return e.done(m)
+	}
+	return m.WorkConserved()
+}
+
+// explore returns the worst-case rounds-to-conservation from m, or false
+// if the adversary can prevent conservation (violation is filled in).
+func (e *concExplorer) explore(m *sched.Machine) (int, bool) {
+	key := m.Key()
+	if n, ok := e.memo[key]; ok {
+		return n, true
+	}
+	if e.isDone(m) {
+		e.memo[key] = 0
+		return 0, true
+	}
+	if e.onPath[key] {
+		e.violation = e.describeCycle(m)
+		return 0, false
+	}
+	e.states++
+	e.onPath[key] = true
+	worst := 0
+	ok := e.succ(e.f, m, func(next *sched.Machine, label string) bool {
+		e.schedules++
+		e.trace = append(e.trace, traceStep{key: key, loads: m.Loads(), label: label})
+		n, ok := e.explore(next)
+		e.trace = e.trace[:len(e.trace)-1]
+		if !ok {
+			return false
+		}
+		if n+1 > worst {
+			worst = n + 1
+		}
+		return true
+	})
+	delete(e.onPath, key)
+	if !ok {
+		return 0, false
+	}
+	e.memo[key] = worst
+	return worst, true
+}
+
+func (e *concExplorer) describeCycle(repeat *sched.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adversarial livelock: state %v recurs without conserving; schedule:", repeat.Loads())
+	// Print the trace suffix forming the cycle: from the first occurrence
+	// of the repeated state to the top of the exploration stack.
+	start := 0
+	target := repeat.Key()
+	for i := range e.trace {
+		if e.trace[i].key == target {
+			start = i
+			break
+		}
+	}
+	for _, step := range e.trace[start:] {
+		fmt.Fprintf(&b, " %v --%s-->", step.loads, step.label)
+	}
+	fmt.Fprintf(&b, " %v", repeat.Loads())
+	return b.String()
+}
+
+// checkGame runs the game-graph exploration over a universe and fills a
+// Result.
+func checkGame(id ObligationID, f Factory, u statespace.Universe, succ successorFunc) Result {
+	res := Result{ID: id, Passed: true}
+	e := newExplorer(f, succ)
+	u.Enumerate(func(m *sched.Machine) bool {
+		res.StatesChecked++
+		n, ok := e.explore(m)
+		if !ok {
+			res.Passed = false
+			res.Witness = fmt.Sprintf("from %v: %s", m.Loads(), e.violation)
+			return false
+		}
+		if n > res.Bound {
+			res.Bound = n
+		}
+		return true
+	})
+	res.SchedulesChecked = e.schedules
+	return res
+}
+
+// CheckWorkConservationConcurrent checks the §3.2 definition in the full
+// optimistic-concurrency setting of §4.3: from every state, under *every*
+// adversarial serialization of every round's steals, conservation is
+// reached within finitely many rounds. This is the obligation GreedyBuggy
+// fails: on the 0/1/2 machine the adversary ping-pongs the spare thread
+// between the two non-idle cores forever, and the explorer returns that
+// cycle as the witness.
+func CheckWorkConservationConcurrent(f Factory, u statespace.Universe) Result {
+	return checkGame(ObWorkConservConc, f, u, orderSuccessors)
+}
+
+// CheckReactivity checks the third performance property the paper's
+// introduction lists as unproven in real systems: reactivity, "a bound
+// on the delay to schedule ready threads". Formalized per core: for
+// every state, every core idle in it, and every adversarial schedule,
+// the core stops being idle (or the machine runs out of overloaded
+// cores to take from) within a bounded number of rounds. The result's
+// Bound is that worst-case delay in rounds — the paper's missing
+// latency limit, made concrete over the bounded universe.
+func CheckReactivity(f Factory, u statespace.Universe) Result {
+	res := Result{ID: ObReactivity, Passed: true}
+	u.Enumerate(func(m *sched.Machine) bool {
+		res.StatesChecked++
+		for _, target := range m.IdleCores() {
+			target := target
+			// A fresh explorer per target: the terminal predicate (and
+			// thus the memo) depends on the target core.
+			e := newExplorer(f, orderSuccessors)
+			e.done = func(s *sched.Machine) bool {
+				return !s.Core(target).Idle() || len(s.OverloadedCores()) == 0
+			}
+			n, ok := e.explore(m)
+			res.SchedulesChecked += e.schedules
+			if !ok {
+				res.Passed = false
+				res.Witness = fmt.Sprintf("core %d can starve from %v: %s", target, m.Loads(), e.violation)
+				return false
+			}
+			if n > res.Bound {
+				res.Bound = n
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// CheckChoiceIndependence checks the paper's central structural claim
+// (§3.1): "the exact choice of the core does not matter for the
+// correctness proof". The adversary controls the step-2 choice (any
+// filter-passing candidate) *and* the steal order; a policy passes iff
+// work conservation survives every combination. A policy whose proofs
+// secretly rely on its Choose heuristic fails here even if it passes
+// CheckWorkConservationConcurrent.
+func CheckChoiceIndependence(f Factory, u statespace.Universe) Result {
+	return checkGame(ObChoiceIndependence, f, u, choiceSuccessors)
+}

@@ -1,0 +1,222 @@
+// Package workload provides the synthetic workloads used to reproduce
+// the paper's §1 motivation numbers (Lozi et al.'s wasted-cores
+// scenarios): barrier-synchronized scientific applications, an open-loop
+// database-style server with blocking I/O, fork-join batches and bursty
+// arrivals. Every generator is deterministic given the simulator's seed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Workload populates a simulator with tasks and arrival processes.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup schedules the workload's arrivals on the simulator. Must be
+	// called before the first Run.
+	Setup(s *sim.Simulator)
+}
+
+// Barrier is the "scientific application" of the paper's motivation: N
+// threads compute for Work ticks, synchronize on a barrier, and repeat.
+// One straggler core running two threads doubles every iteration for
+// everyone — which is why wasted cores hurt these applications many-fold.
+type Barrier struct {
+	// Threads is the number of barrier participants.
+	Threads int
+	// Work is the per-iteration compute time per thread.
+	Work int64
+	// Iterations bounds the generations (0 = unbounded).
+	Iterations int64
+	// SpawnCores lists the cores the threads initially land on,
+	// round-robin. Empty means core 0 — the worst case the balancer
+	// must fix.
+	SpawnCores []int
+
+	bar *sim.Barrier
+}
+
+// Name implements Workload.
+func (w *Barrier) Name() string { return fmt.Sprintf("barrier(n=%d,work=%d)", w.Threads, w.Work) }
+
+// Setup implements Workload.
+func (w *Barrier) Setup(s *sim.Simulator) {
+	if w.Threads <= 0 {
+		panic("workload: Barrier.Threads must be positive")
+	}
+	cores := w.SpawnCores
+	if len(cores) == 0 {
+		cores = []int{0}
+	}
+	w.bar = sim.NewBarrier(w.Threads)
+	for i := 0; i < w.Threads; i++ {
+		core := cores[i%len(cores)]
+		s.SpawnAt(0, core, 1024, sim.BarrierLoop(w.bar, w.Work, w.Iterations))
+	}
+}
+
+// Generations returns the completed barrier generations — the workload's
+// throughput metric (iterations of the scientific application).
+func (w *Barrier) Generations() int64 {
+	if w.bar == nil {
+		return 0
+	}
+	return w.bar.Generation
+}
+
+// Database is an open-loop transactional server: requests arrive with
+// exponential inter-arrival times (mean Interarrival) on the cores listed
+// in ArrivalCores (the "network softirq" cores), run for Service ticks,
+// and with BlockProb block once for BlockFor ticks (a disk or lock wait)
+// before finishing. Throughput and p99 latency are the paper's database
+// metrics; a non-work-conserving scheduler loses throughput roughly in
+// proportion to the wasted cores.
+type Database struct {
+	// Requests is the total number of requests to generate.
+	Requests int
+	// Interarrival is the mean inter-arrival gap in ticks.
+	Interarrival float64
+	// Service is the per-request CPU time.
+	Service int64
+	// BlockProb is the probability a request blocks once mid-service.
+	BlockProb float64
+	// BlockFor is the blocking duration.
+	BlockFor int64
+	// ArrivalCores lists the cores requests arrive on, round-robin.
+	ArrivalCores []int
+}
+
+// Name implements Workload.
+func (w *Database) Name() string {
+	return fmt.Sprintf("db(req=%d,ia=%.0f,svc=%d)", w.Requests, w.Interarrival, w.Service)
+}
+
+// Setup implements Workload.
+func (w *Database) Setup(s *sim.Simulator) {
+	if w.Requests <= 0 || w.Interarrival <= 0 || w.Service <= 0 {
+		panic("workload: Database needs positive Requests, Interarrival, Service")
+	}
+	cores := w.ArrivalCores
+	if len(cores) == 0 {
+		cores = []int{0}
+	}
+	rng := s.RNG()
+	t := s.Clock()
+	for i := 0; i < w.Requests; i++ {
+		t += rng.ExpTicks(w.Interarrival)
+		core := cores[i%len(cores)]
+		s.SpawnAt(t, core, 1024, w.requestBehavior(rng))
+	}
+}
+
+// requestBehavior builds one request's behavior: run half the service,
+// maybe block, run the rest.
+func (w *Database) requestBehavior(rng *sim.RNG) sim.Behavior {
+	blocks := w.BlockProb > 0 && rng.Float64() < w.BlockProb
+	phase := 0
+	return sim.BehaviorFunc(func(int64, *sim.RNG) sim.Action {
+		phase++
+		if blocks {
+			switch phase {
+			case 1:
+				return sim.Action{RunFor: w.Service / 2, Then: sim.ThenBlock, BlockFor: w.BlockFor}
+			default:
+				return sim.Action{RunFor: w.Service - w.Service/2, Then: sim.ThenExit}
+			}
+		}
+		return sim.Action{RunFor: w.Service, Then: sim.ThenExit}
+	})
+}
+
+// ForkJoin spawns Waves batches of Width tasks; each wave forks on one
+// core, runs in parallel (if the balancer spreads it) and the next wave
+// starts after a fixed Gap. It models `make -j`-style build bursts.
+type ForkJoin struct {
+	// Waves is the number of batches.
+	Waves int
+	// Width is the tasks per batch.
+	Width int
+	// Work is each task's CPU time.
+	Work int64
+	// Gap separates wave start times.
+	Gap int64
+	// ForkCore is where every task is born.
+	ForkCore int
+}
+
+// Name implements Workload.
+func (w *ForkJoin) Name() string {
+	return fmt.Sprintf("forkjoin(waves=%d,width=%d)", w.Waves, w.Width)
+}
+
+// Setup implements Workload.
+func (w *ForkJoin) Setup(s *sim.Simulator) {
+	if w.Waves <= 0 || w.Width <= 0 || w.Work <= 0 {
+		panic("workload: ForkJoin needs positive Waves, Width, Work")
+	}
+	for wave := 0; wave < w.Waves; wave++ {
+		t := s.Clock() + int64(wave)*w.Gap
+		for i := 0; i < w.Width; i++ {
+			s.SpawnAt(t, w.ForkCore, 1024, sim.RunOnce(w.Work))
+		}
+	}
+}
+
+// Pinned is a single long-running heavy thread — the high-load R-style
+// process of the Lozi group-imbalance scenario. It occupies its core
+// forever and, with a large weight, poisons group load averages.
+type Pinned struct {
+	// Core is where the thread runs.
+	Core int
+	// Weight is the thread's load weight (e.g. 8192 for a nice -20-ish
+	// hog).
+	Weight int64
+}
+
+// Name implements Workload.
+func (w *Pinned) Name() string { return fmt.Sprintf("pinned(core=%d,w=%d)", w.Core, w.Weight) }
+
+// Setup implements Workload.
+func (w *Pinned) Setup(s *sim.Simulator) {
+	weight := w.Weight
+	if weight <= 0 {
+		weight = 8192
+	}
+	// A huge slice: the thread never yields; since it is always the
+	// current task and never queued, no policy can migrate it — the
+	// model's equivalent of a pinned thread.
+	s.SpawnAt(0, w.Core, weight, sim.RunForever(1<<40))
+}
+
+// Combined composes several workloads into one.
+type Combined struct {
+	// Parts are set up in order.
+	Parts []Workload
+	// Label overrides the generated name when non-empty.
+	Label string
+}
+
+// Name implements Workload.
+func (w *Combined) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	name := "combined("
+	for i, p := range w.Parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// Setup implements Workload.
+func (w *Combined) Setup(s *sim.Simulator) {
+	for _, p := range w.Parts {
+		p.Setup(s)
+	}
+}

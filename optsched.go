@@ -1,0 +1,155 @@
+// Package optsched is a Go reproduction of "Towards Proving Optimistic
+// Multicore Schedulers" (Lepers et al., HotOS 2017): a multicore
+// scheduler model built on the paper's three-step load-balancing
+// abstraction (Filter → Choose → Steal), a bounded model checker that
+// stands in for the paper's Leon verifier, a policy DSL with execution
+// and code-generation backends, a discrete-event simulator reproducing
+// the wasted-cores motivation, and a real work-stealing executor running
+// the verified protocol.
+//
+// This top-level package is the curated public surface: it re-exports
+// the library's main entry points so downstream users can write
+//
+//	m := optsched.MachineFromLoads(0, 1, 2)
+//	p := optsched.NewDelta2()
+//	report := optsched.Verify("delta2", func() optsched.Policy { return optsched.NewDelta2() })
+//
+// without importing the internal packages individually. The full
+// surface (simulator, workloads, DSL, executor) lives in the internal
+// packages, documented in README.md.
+package optsched
+
+import (
+	"repro/internal/dsl"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/statespace"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+// Core model types (see internal/sched).
+type (
+	// Task is a schedulable entity with an identity and load weight.
+	Task = sched.Task
+	// Core is one CPU's scheduling state: current task plus runqueue.
+	Core = sched.Core
+	// Machine is the global state: one Core per CPU.
+	Machine = sched.Machine
+	// Policy is the paper's three-step policy abstraction.
+	Policy = sched.Policy
+	// FuncPolicy assembles a Policy from closures.
+	FuncPolicy = sched.FuncPolicy
+	// RoundResult reports one balancing round's attempts.
+	RoundResult = sched.RoundResult
+	// Attempt is one core's participation in a round.
+	Attempt = sched.Attempt
+)
+
+// Verification types (see internal/verify).
+type (
+	// Report aggregates proof-obligation results for one policy.
+	Report = verify.Report
+	// ObligationID names one proof obligation.
+	ObligationID = verify.ObligationID
+	// Universe bounds the state space the checker quantifies over.
+	Universe = statespace.Universe
+	// VerifyConfig parameterizes a verification run.
+	VerifyConfig = verify.Config
+)
+
+// Topology types (see internal/topology).
+type (
+	// Topology describes NUMA nodes and scheduling domains.
+	Topology = topology.Topology
+)
+
+// Machine construction.
+var (
+	// NewMachine returns n empty cores.
+	NewMachine = sched.NewMachine
+	// MachineFromLoads builds a machine from per-core thread counts.
+	MachineFromLoads = sched.MachineFromLoads
+)
+
+// Round execution: the three steps of Figure 1.
+var (
+	// Select runs steps 1-2 (lock-free filter + choice).
+	Select = sched.Select
+	// Steal runs step 3 (locked, re-validated migration).
+	Steal = sched.Steal
+	// SequentialRound executes a §4.2 non-overlapping round.
+	SequentialRound = sched.SequentialRound
+	// ConcurrentRound executes a §3.1 optimistic round with the given
+	// adversarial steal order.
+	ConcurrentRound = sched.ConcurrentRound
+	// PairwiseImbalance computes the §4.3 potential function d.
+	PairwiseImbalance = sched.PairwiseImbalance
+)
+
+// Built-in policies.
+var (
+	// NewDelta2 is Listing 1's simple balancer (proved work-conserving).
+	NewDelta2 = policy.NewDelta2
+	// NewWeighted is the niceness-weighted balancer (proved).
+	NewWeighted = policy.NewWeighted
+	// NewGreedyBuggy is the §4.3 counterexample (refuted: livelock).
+	NewGreedyBuggy = policy.NewGreedyBuggy
+	// NewCFSGroupBuggy models the Lozi et al. group-imbalance bug
+	// (refuted: fails Lemma 1).
+	NewCFSGroupBuggy = policy.NewCFSGroupBuggy
+	// NewHierarchical is the §5 two-level balancer (proved).
+	NewHierarchical = policy.NewHierarchical
+	// NewNUMAAware is Delta2 with a locality-preferring choice step.
+	NewNUMAAware = policy.NewNUMAAware
+	// NewPolicy looks up a built-in policy by name.
+	NewPolicy = policy.New
+	// PolicyNames lists the built-in policies.
+	PolicyNames = policy.Names
+)
+
+// Topologies.
+var (
+	// FlatTopology is a single-node machine.
+	FlatTopology = topology.Flat
+	// NUMATopology builds nodes × perNode cores.
+	NUMATopology = topology.NUMA
+)
+
+// Verification entry points.
+var (
+	// Verify checks a policy against every proof obligation over the
+	// default bounded universe.
+	Verify = func(name string, factory func() Policy) *Report {
+		return verify.Policy(name, factory, verify.Config{})
+	}
+	// VerifyWith checks with an explicit configuration.
+	VerifyWith = verify.Policy
+	// DefaultUniverse is the verifier's default bounded state space.
+	DefaultUniverse = verify.DefaultUniverse
+)
+
+// DSL entry points.
+var (
+	// ParsePolicy parses and type-checks DSL source.
+	ParsePolicy = dsl.Parse
+	// CompilePolicy turns DSL source into an executable Policy.
+	CompilePolicy = dsl.CompileSource
+	// GeneratePolicyGo emits Go source for a parsed DSL policy.
+	GeneratePolicyGo = dsl.Generate
+)
+
+// Simulation types and entry points (see internal/sim for the full
+// workload API).
+type (
+	// Simulator is the discrete-event multicore simulator.
+	Simulator = sim.Simulator
+	// SimConfig parameterizes a simulation.
+	SimConfig = sim.Config
+	// SimStats is the measurement snapshot of a run.
+	SimStats = sim.Stats
+)
+
+// NewSimulator builds a simulator.
+var NewSimulator = sim.New
