@@ -1,0 +1,62 @@
+package optsched
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// modelBackend runs the scenario on the bare scheduler model: tasks are
+// placed on their cores' runqueues and balancing rounds execute until
+// the machine is work-conserved (or the round cap strikes). This is the
+// substrate the proof obligations quantify over, so a verified policy
+// converging here is exactly what the verifier promised.
+type modelBackend struct{}
+
+// Name implements Backend.
+func (modelBackend) Name() string { return "model" }
+
+// Execute implements Backend. Arrival times and per-task work are
+// ignored — the model has no clock; what it measures is balancing
+// behavior: rounds to convergence, tasks migrated, failed optimistic
+// attempts, and the final load vector.
+func (b modelBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, cores int, groups []int) (*Result, error) {
+	start := time.Now()
+	m := sched.NewMachine(cores)
+	for id, g := range groups {
+		m.Core(id).Group = g
+		m.Core(id).Node = g
+	}
+	for _, batch := range sc.Batches {
+		for i := 0; i < batch.Tasks; i++ {
+			m.Spawn(batch.Core%cores, batch.weight())
+		}
+	}
+	p := c.NewPolicy()
+	rng := sim.NewRNG(c.Seed())
+
+	res := newResult(b, c, sc, cores)
+	for !m.WorkConserved() && res.Rounds < int64(c.maxRounds) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var rr sched.RoundResult
+		if c.Sequential() {
+			rr = sched.SequentialRound(p, m)
+		} else {
+			rr = sched.ConcurrentRound(p, m, rng.Perm(cores))
+		}
+		res.Rounds++
+		res.Steals += int64(rr.TasksMoved())
+		res.StealFails += int64(rr.Failures())
+		if rr.TasksMoved() == 0 {
+			break // stuck: no steal possible, conserved or not
+		}
+	}
+	res.Converged = m.WorkConserved()
+	res.FinalLoads = m.Loads()
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -10,6 +10,7 @@ package optsched
 // regeneration, so ns/op is the cost of reproducing that table.
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ import (
 
 func BenchmarkE1Lemma1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.E1Lemma1()
+		r := experiment.E1Lemma1(context.Background())
 		if r.Table == nil {
 			b.Fatal("no table")
 		}
@@ -38,7 +39,7 @@ func BenchmarkE1Lemma1(b *testing.B) {
 
 func BenchmarkE2SequentialWC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.E2SequentialConvergence()
+		r := experiment.E2SequentialConvergence(context.Background())
 		if r.Table == nil {
 			b.Fatal("no table")
 		}
@@ -47,7 +48,7 @@ func BenchmarkE2SequentialWC(b *testing.B) {
 
 func BenchmarkE3Counterexample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.E3Counterexample()
+		r := experiment.E3Counterexample(context.Background())
 		if r.Table == nil {
 			b.Fatal("no table")
 		}
@@ -56,7 +57,7 @@ func BenchmarkE3Counterexample(b *testing.B) {
 
 func BenchmarkE4Potential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.E4Potential()
+		r := experiment.E4Potential(context.Background())
 		if r.Table == nil {
 			b.Fatal("no table")
 		}
@@ -170,7 +171,7 @@ func BenchmarkE6WastedCores(b *testing.B) {
 
 func BenchmarkE7Hierarchical(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.E7Hierarchical()
+		r := experiment.E7Hierarchical(context.Background())
 		if r.Table == nil {
 			b.Fatal("no table")
 		}
@@ -182,7 +183,7 @@ func BenchmarkE8Concurrent(b *testing.B) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
 	factory := func() sched.Policy { return policy.NewDelta2() }
 	for i := 0; i < b.N; i++ {
-		res := verify.CheckWorkConservationConcurrent(factory, u)
+		res := verify.CheckWorkConservationConcurrent(context.Background(), factory, u)
 		if !res.Passed {
 			b.Fatal(res.Witness)
 		}
@@ -191,7 +192,7 @@ func BenchmarkE8Concurrent(b *testing.B) {
 
 func BenchmarkE9Convergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiment.E9ConvergenceRate()
+		r := experiment.E9ConvergenceRate(context.Background())
 		if r.Table == nil {
 			b.Fatal("no table")
 		}

@@ -1,0 +1,300 @@
+package optsched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterRunAcrossBackends is the API's core promise: one fixed
+// scenario runs through all three backends via the same Cluster.Run
+// call and every backend returns a non-empty, internally consistent
+// Result.
+func TestClusterRunAcrossBackends(t *testing.T) {
+	// A skewed burst: 24 tasks born on core 0 of a 4-core machine. Every
+	// backend must spread the work (steals > 0 under delta2).
+	scenario := SkewedScenario("skew", 24, 200)
+	scenario.Cores = 4
+
+	for _, backend := range Backends() {
+		t.Run(backend.Name(), func(t *testing.T) {
+			c, err := New(
+				WithPolicy("delta2"),
+				WithBackend(backend),
+				WithSeed(7),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(context.Background(), scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Backend != backend.Name() || res.Policy != "delta2" || res.Scenario != "skew" {
+				t.Errorf("result identity wrong: %+v", res)
+			}
+			if res.Cores != 4 || res.Tasks != 24 {
+				t.Errorf("cores=%d tasks=%d, want 4/24", res.Cores, res.Tasks)
+			}
+			if !res.Converged {
+				t.Errorf("backend %s did not converge: %v", backend.Name(), res)
+			}
+			if res.Steals <= 0 {
+				t.Errorf("backend %s moved no tasks off the overloaded core: %v", backend.Name(), res)
+			}
+			if res.Wall <= 0 {
+				t.Errorf("backend %s reports no wall time", backend.Name())
+			}
+			if res.String() == "" || !strings.Contains(res.String(), backend.Name()) {
+				t.Errorf("String() = %q", res.String())
+			}
+
+			// Per-backend consistency.
+			switch backend {
+			case BackendModel:
+				if res.FinalLoads == nil || len(res.FinalLoads) != 4 {
+					t.Errorf("model: FinalLoads = %v", res.FinalLoads)
+				}
+				total := 0
+				for _, l := range res.FinalLoads {
+					total += l
+				}
+				if total != 24 {
+					t.Errorf("model: threads not conserved: %v", res.FinalLoads)
+				}
+				if res.Rounds <= 0 {
+					t.Error("model: no rounds recorded")
+				}
+			case BackendSim:
+				if res.Completed != 24 {
+					t.Errorf("sim: completed %d of 24", res.Completed)
+				}
+				if res.Sim == nil || res.VirtualTicks <= 0 {
+					t.Errorf("sim: missing sim stats: %+v", res)
+				}
+			case BackendExecutor:
+				if res.Completed != 24 {
+					t.Errorf("executor: completed %d of 24", res.Completed)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterRunSharesScenarioAcrossTopologies checks that the cluster
+// topology supplies width and groups when the scenario leaves them open.
+func TestClusterTopologyDefaults(t *testing.T) {
+	c, err := New(
+		WithPolicy("numa-aware"),
+		WithTopology(NUMATopology(2, 2)),
+		WithBackend(BackendModel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), Scenario{
+		Name:    "numa-skew",
+		Batches: []Batch{{Core: 0, Tasks: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 4 {
+		t.Errorf("cores = %d, want the topology's 4", res.Cores)
+	}
+	if !res.Converged {
+		t.Errorf("not converged: %v", res)
+	}
+}
+
+// TestClusterTopologyCoverage: a topology-built policy must not run on
+// (or be verified over) a machine wider than its topology — that would
+// index past NodeOf inside the policy's distance metric.
+func TestClusterTopologyCoverage(t *testing.T) {
+	c, err := New(WithPolicy("numa-aware")) // default 2×4 topology
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := SkewedScenario("wide", 8, 100)
+	sc.Cores = 16
+	if _, err := c.Run(context.Background(), sc); err == nil {
+		t.Error("16-core scenario accepted by a policy built over 8 cores")
+	}
+	wide, err := New(WithPolicy("numa-aware"),
+		WithUniverse(Universe{Cores: 16, MaxPerCore: 1, MaxTotal: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wide.Verify(context.Background()); err == nil {
+		t.Error("16-core universe accepted by a policy built over 8 cores")
+	}
+	// Within the topology's width both still work.
+	sc.Cores = 8
+	if _, err := c.Run(context.Background(), sc); err != nil {
+		t.Errorf("8-core scenario rejected: %v", err)
+	}
+}
+
+func TestClusterRunModelHonorsCancellation(t *testing.T) {
+	c, err := New(WithPolicy("greedy-buggy"), WithBackend(BackendModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx, ScenarioFromLoads("cancelled", 0, 1, 2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestClusterVerify(t *testing.T) {
+	c, err := New(WithPolicy("delta2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Verify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("delta2 verification failed:\n%s", rep)
+	}
+	if len(rep.Results) != 8 {
+		t.Errorf("expected the 8-obligation suite, got %d results", len(rep.Results))
+	}
+
+	bad, err := New(WithPolicy("greedy-buggy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBad, err := bad.Verify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBad.Passed() {
+		t.Error("greedy-buggy verification should fail")
+	}
+}
+
+// TestClusterVerifyHonorsCancellation is the satellite requirement:
+// Verify(ctx) aborts when the context dies and says so.
+func TestClusterVerifyHonorsCancellation(t *testing.T) {
+	c, err := New(WithPolicy("delta2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := c.Verify(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Verify on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled Verify still took %v", elapsed)
+	}
+	if rep == nil {
+		t.Fatal("cancelled Verify should still return the partial report")
+	}
+	if rep.Passed() {
+		t.Error("a cancelled report must not claim the policy proved")
+	}
+	for _, r := range rep.Results {
+		if r.Passed {
+			continue
+		}
+		if !strings.Contains(r.Witness, "aborted") {
+			t.Errorf("obligation %s failed without an aborted witness: %q", r.ID, r.Witness)
+		}
+	}
+}
+
+func TestClusterDSLPolicy(t *testing.T) {
+	c, err := New(
+		WithDSL(`policy quick { filter = stealee.load - thief.load >= 2 }`),
+		WithBackend(BackendModel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PolicyName() != "quick" {
+		t.Errorf("PolicyName = %q", c.PolicyName())
+	}
+	res, err := c.Run(context.Background(), ScenarioFromLoads("dsl", 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Steals == 0 {
+		t.Errorf("DSL policy did not balance: %v", res)
+	}
+}
+
+func TestClusterOptionValidation(t *testing.T) {
+	cases := map[string][]Option{
+		"unknown policy":      {WithPolicy("nope")},
+		"nil backend":         {WithBackend(nil)},
+		"nil topology":        {WithTopology(nil)},
+		"bad cores":           {WithCores(-1)},
+		"bad horizon":         {WithHorizon(0)},
+		"bad max rounds":      {WithMaxRounds(0)},
+		"broken DSL":          {WithDSL("policy x {}")},
+		"conflicting sources": {WithPolicy("delta2"), WithDSL(`policy y { filter = stealee.load - thief.load >= 2 }`)},
+		"policy + factory": {WithPolicyFactory("mine", func() Policy { return NewDelta2() }),
+			WithPolicy("delta2")},
+		"nil factory":        {WithPolicyFactory("x", nil)},
+		"cores vs topology":  {WithTopology(NUMATopology(2, 4)), WithCores(16)},
+		"unknown obligation": {WithObligations("lemma1typo")},
+	}
+	for name, opts := range cases {
+		if _, err := New(opts...); err == nil {
+			t.Errorf("%s: New accepted invalid options", name)
+		}
+	}
+}
+
+func TestClusterRunValidation(t *testing.T) {
+	c, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Run(ctx, Scenario{}); err == nil {
+		t.Error("nameless scenario accepted")
+	}
+	// An all-idle machine is legitimate: trivially converged, no rounds.
+	if res, err := c.Run(ctx, ScenarioFromLoads("idle", 0, 0, 0)); err != nil || !res.Converged || res.Rounds != 0 {
+		t.Errorf("idle machine: res=%v err=%v", res, err)
+	}
+	if _, err := c.Run(ctx, Scenario{Name: "x", Batches: []Batch{{Core: 0, Tasks: 0}}}); err == nil {
+		t.Error("zero-task batch accepted")
+	}
+	if _, err := c.Run(ctx, Scenario{Name: "x", Cores: 2, Groups: []int{0},
+		Batches: []Batch{{Core: 0, Tasks: 1}}}); err == nil {
+		t.Error("mismatched groups accepted")
+	}
+	// Sim-native workloads are rejected off-simulator.
+	wl := Scenario{Name: "wl", Workload: dummyWorkload{}}
+	if _, err := c.Run(ctx, wl); err == nil {
+		t.Error("model backend accepted a sim-native workload")
+	}
+}
+
+type dummyWorkload struct{}
+
+func (dummyWorkload) Name() string       { return "dummy" }
+func (dummyWorkload) Setup(s *Simulator) {}
+
+// TestBackendByName pins the CLI-facing backend names.
+func TestBackendByName(t *testing.T) {
+	for _, want := range []string{"model", "sim", "executor"} {
+		b, err := BackendByName(want)
+		if err != nil || b.Name() != want {
+			t.Errorf("BackendByName(%q) = %v, %v", want, b, err)
+		}
+	}
+	if _, err := BackendByName("kernel"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

@@ -1,5 +1,7 @@
 // Command schedbench regenerates every experiment table of
-// EXPERIMENTS.md — the paper-shaped output in one shot.
+// EXPERIMENTS.md — the paper-shaped output in one shot. Interrupting
+// (Ctrl-C) cancels the run: the verification experiments abort at the
+// next state and whatever completed is printed.
 //
 // Usage:
 //
@@ -8,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiment"
 )
@@ -19,7 +23,10 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E9)")
 	flag.Parse()
 
-	runners := map[string]func() experiment.Result{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runners := map[string]func(context.Context) experiment.Result{
 		"E1": experiment.E1Lemma1,
 		"E2": experiment.E2SequentialConvergence,
 		"E3": experiment.E3Counterexample,
@@ -36,10 +43,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedbench: unknown experiment %q (want E1..E9)\n", *only)
 			os.Exit(2)
 		}
-		fmt.Println(run())
-		return
+		fmt.Println(run(ctx))
+	} else {
+		for _, r := range experiment.All(ctx) {
+			fmt.Println(r)
+		}
 	}
-	for _, r := range experiment.All() {
-		fmt.Println(r)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "schedbench: interrupted")
+		os.Exit(1)
 	}
 }

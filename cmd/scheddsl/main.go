@@ -11,14 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
+	optsched "repro"
 	"repro/internal/dsl"
-	"repro/internal/sched"
-	"repro/internal/verify"
 )
 
 func main() {
@@ -45,8 +46,19 @@ func main() {
 	}
 
 	if *check {
-		factory := func() sched.Policy { return dsl.Compile(ast) }
-		rep := verify.Policy(ast.Name, factory, verify.Config{})
+		cluster, err := optsched.New(optsched.WithDSL(src))
+		if err != nil {
+			fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		rep, err := cluster.Verify(ctx)
+		if err != nil {
+			if rep != nil {
+				fmt.Println(rep) // the partial report of a cancelled run
+			}
+			fatal(err)
+		}
 		fmt.Println(rep)
 		if !rep.Passed() {
 			os.Exit(1)

@@ -1,77 +1,116 @@
-// Command schedsim runs the discrete-event simulator on a chosen
-// policy × workload × machine and prints the measurement snapshot —
-// the repository's stand-in for running a patched kernel on a testbed.
+// Command schedsim runs a scheduling scenario on a chosen policy ×
+// backend × machine and prints the unified measurement snapshot — the
+// repository's stand-in for running a patched kernel on a testbed. It
+// drives the optsched session API, so the same scenario can run on the
+// discrete-event simulator (default), the bare model, or the real
+// work-stealing executor.
 //
 // Usage:
 //
-//	schedsim [-policy name] [-workload name] [-cores N] [-horizon T]
-//	         [-seed S] [-sequential] [-trace file.json]
+//	schedsim [-policy name] [-workload name] [-backend model|sim|executor]
+//	         [-cores N] [-horizon T] [-seed S] [-sequential] [-trace file.json]
 //
 // Workloads: db-trap, barrier-trap, barrier, forkjoin, bursty.
+// The trap and barrier workloads are simulator-native (blocking,
+// barriers) and run only with -backend sim; forkjoin and bursty are
+// portable batch scenarios and run on every backend.
 //
 // Examples:
 //
 //	schedsim -policy weighted -workload db-trap
 //	schedsim -policy cfs-group-buggy -workload db-trap    # the bug, live
 //	schedsim -policy delta2 -workload forkjoin -cores 8
+//	schedsim -policy delta2 -workload forkjoin -backend executor
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/policy"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	optsched "repro"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		policyName = flag.String("policy", "delta2", "balancing policy (see schedverify -list)")
-		wlName     = flag.String("workload", "db-trap", "workload: db-trap, barrier-trap, barrier, forkjoin, bursty")
-		cores      = flag.Int("cores", 0, "cores (0 = workload's calibrated width)")
-		horizon    = flag.Int64("horizon", 1_500_000, "virtual ticks to simulate (1 tick = 1µs)")
-		seed       = flag.Uint64("seed", 1, "deterministic RNG seed")
-		sequential = flag.Bool("sequential", false, "use §4.2 sequential rounds instead of optimistic concurrent")
-		traceFile  = flag.String("trace", "", "write the last 64k trace events as JSON")
+		policyName  = flag.String("policy", "delta2", "balancing policy (see schedverify -list)")
+		wlName      = flag.String("workload", "db-trap", "workload: db-trap, barrier-trap, barrier, forkjoin, bursty")
+		backendName = flag.String("backend", "sim", "execution backend: model, sim, executor")
+		cores       = flag.Int("cores", 0, "cores (0 = workload's calibrated width)")
+		horizon     = flag.Int64("horizon", 1_500_000, "virtual ticks to simulate (1 tick = 1µs)")
+		seed        = flag.Uint64("seed", 1, "deterministic RNG seed")
+		sequential  = flag.Bool("sequential", false, "use §4.2 sequential rounds instead of optimistic concurrent")
+		traceFile   = flag.String("trace", "", "write the last 64k trace events as JSON (sim backend)")
 	)
 	flag.Parse()
 
-	p, err := policy.New(*policyName)
+	backend, err := optsched.BackendByName(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	scenario, metric := buildScenario(*wlName)
+	if *cores > 0 {
+		scenario.Cores = *cores
+		scenario.Groups = nil
+	}
+
+	opts := []optsched.Option{
+		optsched.WithPolicy(*policyName),
+		optsched.WithBackend(backend),
+		optsched.WithSeed(*seed),
+	}
+	if *sequential {
+		if backend == optsched.BackendExecutor {
+			fatal(fmt.Errorf("schedsim: -sequential has no meaning on the executor backend (it balances on idle, not in rounds)"))
+		}
+		opts = append(opts, optsched.WithSequentialRounds())
+	}
+	if backend == optsched.BackendSim {
+		scenario.Horizon = *horizon
+	} else {
+		flag.Visit(func(f *flag.Flag) {
+			switch {
+			case f.Name == "horizon":
+				fmt.Fprintf(os.Stderr, "schedsim: note: -horizon has no effect on the %s backend (it has no virtual clock)\n", backend.Name())
+			case f.Name == "seed" && backend == optsched.BackendExecutor:
+				fmt.Fprintln(os.Stderr, "schedsim: note: -seed has no effect on the executor backend (real concurrency is nondeterministic)")
+			}
+		})
+	}
+	var ring *optsched.TraceRing
+	if *traceFile != "" {
+		if backend != optsched.BackendSim {
+			fatal(fmt.Errorf("schedsim: -trace requires -backend sim (the %s backend emits no trace events)", backend.Name()))
+		}
+		ring = optsched.NewTraceRing(65536)
+		opts = append(opts, optsched.WithTrace(ring))
+	}
+	cluster, err := optsched.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
 
-	wl, width, groups, metric := buildWorkload(*wlName)
-	if *cores > 0 {
-		width = *cores
-		groups = nil
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := cluster.Run(ctx, scenario)
+	if err != nil {
+		fatal(err)
 	}
 
-	var ring *trace.Ring
-	if *traceFile != "" {
-		ring = trace.NewRing(65536)
+	fmt.Printf("policy    %s\nworkload  %s\nbackend   %s\ncores     %d\n",
+		cluster.PolicyName(), scenario.Name, res.Backend, res.Cores)
+	fmt.Printf("result    %v\n", res)
+	if st := res.Sim; st != nil {
+		fmt.Printf("stats     %v\n", *st)
+		fmt.Printf("latency   p50=%d p90=%d p99=%d max=%d\n",
+			st.Latency.Quantile(0.5), st.Latency.Quantile(0.9),
+			st.Latency.Quantile(0.99), st.Latency.Max())
+		fmt.Printf("wasted    %.0f core-ticks (%.1f%% of capacity), %d violation episodes\n",
+			st.WastedCoreTicks, st.WastedPct, st.ViolationEpisodes)
 	}
-	mode := sim.RoundConcurrent
-	if *sequential {
-		mode = sim.RoundSequential
-	}
-	s := sim.New(sim.Config{
-		Cores: width, Policy: p, Groups: groups,
-		Mode: mode, Seed: *seed, Ring: ring,
-	})
-	wl.Setup(s)
-	st := s.Run(*horizon)
-
-	fmt.Printf("policy    %s\nworkload  %s\ncores     %d\n", *policyName, wl.Name(), width)
-	fmt.Printf("stats     %v\n", st)
-	fmt.Printf("latency   p50=%d p90=%d p99=%d max=%d\n",
-		st.Latency.Quantile(0.5), st.Latency.Quantile(0.9),
-		st.Latency.Quantile(0.99), st.Latency.Max())
-	fmt.Printf("wasted    %.0f core-ticks (%.1f%% of capacity), %d violation episodes\n",
-		st.WastedCoreTicks, st.WastedPct, st.ViolationEpisodes)
 	if metric != nil {
 		name, value := metric()
 		fmt.Printf("workload  %s = %d\n", name, value)
@@ -90,26 +129,39 @@ func main() {
 	}
 }
 
-// buildWorkload returns the workload, its calibrated machine width and
-// groups, and an optional workload-specific metric.
-func buildWorkload(name string) (workload.Workload, int, []int, func() (string, int64)) {
+// buildScenario returns the named scenario (with its calibrated machine
+// width and groups baked in) and an optional workload-specific metric.
+// The trap and barrier scenarios are simulator-native; forkjoin and
+// bursty are portable batch scenarios that run on every backend.
+func buildScenario(name string) (optsched.Scenario, func() (string, int64)) {
 	switch name {
 	case "db-trap":
 		t := workload.NewDBTrap()
-		return t, t.Cores(), t.Groups(), func() (string, int64) { return "requests", t.Server.Requests() }
+		return optsched.Scenario{
+			Name: name, Cores: t.Cores(), Groups: t.Groups(), Workload: t,
+		}, func() (string, int64) { return "requests", t.Server.Requests() }
 	case "barrier-trap":
 		t := workload.NewBarrierTrap(1700)
-		return t, t.Cores(), t.Groups(), func() (string, int64) { return "generations", t.Barrier.Generations() }
+		return optsched.Scenario{
+			Name: name, Cores: t.Cores(), Groups: t.Groups(), Workload: t,
+		}, func() (string, int64) { return "generations", t.Barrier.Generations() }
 	case "barrier":
 		b := &workload.Barrier{Threads: 8, Work: 1700}
-		return b, 8, nil, func() (string, int64) { return "generations", b.Generations() }
+		return optsched.Scenario{Name: name, Cores: 8, Workload: b},
+			func() (string, int64) { return "generations", b.Generations() }
 	case "forkjoin":
-		return &workload.ForkJoin{Waves: 20, Width: 16, Work: 2000, Gap: 40_000}, 8, nil, nil
+		// 20 waves of 16 tasks forking on core 0, 40ms apart.
+		sc := optsched.ForkJoinScenario(name, 20, 16, 2000, 40_000, 0)
+		sc.Cores = 8
+		return sc, nil
 	case "bursty":
-		return &workload.Bursty{Bursts: 30, TasksPerBurst: 12, Work: 1500, Period: 25_000}, 8, nil, nil
+		// 30 bursts of 12 tasks landing on core 0, 25ms apart.
+		sc := optsched.BurstyScenario(name, 30, 12, 1500, 25_000, 0)
+		sc.Cores = 8
+		return sc, nil
 	}
 	fatal(fmt.Errorf("schedsim: unknown workload %q", name))
-	return nil, 0, nil, nil
+	return optsched.Scenario{}, nil
 }
 
 func fatal(err error) {

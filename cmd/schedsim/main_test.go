@@ -2,18 +2,21 @@ package main
 
 import "testing"
 
-func TestBuildWorkloadKnownNames(t *testing.T) {
+func TestBuildScenarioKnownNames(t *testing.T) {
 	for _, name := range []string{"db-trap", "barrier-trap", "barrier", "forkjoin", "bursty"} {
-		wl, width, _, _ := buildWorkload(name)
-		if wl == nil || width <= 0 {
-			t.Errorf("buildWorkload(%q) = %v, width %d", name, wl, width)
+		sc, _ := buildScenario(name)
+		if sc.Name != name || sc.Cores <= 0 {
+			t.Errorf("buildScenario(%q) = %+v", name, sc)
+		}
+		if sc.Workload == nil && len(sc.Batches) == 0 {
+			t.Errorf("buildScenario(%q) carries no work", name)
 		}
 	}
 }
 
-func TestBuildWorkloadMetrics(t *testing.T) {
-	_, _, groups, metric := buildWorkload("db-trap")
-	if groups == nil {
+func TestBuildScenarioMetrics(t *testing.T) {
+	sc, metric := buildScenario("db-trap")
+	if sc.Groups == nil {
 		t.Error("db-trap should carry groups")
 	}
 	if metric == nil {
@@ -21,5 +24,19 @@ func TestBuildWorkloadMetrics(t *testing.T) {
 	}
 	if name, v := metric(); name != "requests" || v != 0 {
 		t.Errorf("metric = %q %d", name, v)
+	}
+}
+
+func TestPortableScenariosAreBatchOnly(t *testing.T) {
+	// forkjoin and bursty must stay portable: no sim-native workload, so
+	// they run on the model and executor backends too.
+	for _, name := range []string{"forkjoin", "bursty"} {
+		sc, _ := buildScenario(name)
+		if sc.Workload != nil {
+			t.Errorf("%s should be a portable batch scenario", name)
+		}
+		if sc.TotalTasks() == 0 {
+			t.Errorf("%s has no tasks", name)
+		}
 	}
 }

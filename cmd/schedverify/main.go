@@ -1,6 +1,7 @@
 // Command schedverify checks a scheduling policy against the paper's
 // proof obligations — the repository's analogue of running the Leon
-// verification pipeline.
+// verification pipeline. It drives the optsched session API: the
+// obligations run in parallel and Ctrl-C cancels the run.
 //
 // Usage:
 //
@@ -17,17 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"repro/internal/dsl"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/statespace"
-	"repro/internal/verify"
+	optsched "repro"
 )
 
 func main() {
@@ -47,18 +46,17 @@ func main() {
 
 	if *list {
 		fmt.Println("built-in policies:")
-		for _, n := range policy.Names() {
-			fmt.Println("  " + n)
+		for _, s := range optsched.PolicySpecs() {
+			topo := ""
+			if s.NeedsTopology {
+				topo = " [topology]"
+			}
+			fmt.Printf("  %-18s %-10s%s %s\n", s.Name, s.Provenance, topo, s.Doc)
 		}
 		return
 	}
 
-	factory, name, err := resolvePolicy(*policyName, *dslFile)
-	if err != nil {
-		fatal(err)
-	}
-
-	u := statespace.Universe{
+	u := optsched.Universe{
 		Cores:              *cores,
 		MaxPerCore:         *maxPer,
 		MaxTotal:           *maxTotal,
@@ -85,53 +83,46 @@ func main() {
 		}
 	}
 
-	cfg := verify.Config{Universe: u}
+	opts := []optsched.Option{optsched.WithUniverse(u)}
 	if *obligation != "" {
-		cfg.Obligations = []verify.ObligationID{verify.ObligationID(*obligation)}
+		opts = append(opts, optsched.WithObligations(optsched.ObligationID(*obligation)))
+	}
+	cluster, err := buildCluster(*policyName, *dslFile, opts...)
+	if err != nil {
+		fatal(err)
 	}
 
-	rep := verify.Policy(name, factory, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := cluster.Verify(ctx)
+	if err != nil {
+		if rep != nil {
+			fmt.Println(rep) // the partial report of a cancelled run
+		}
+		fatal(fmt.Errorf("schedverify: %w", err))
+	}
 	fmt.Println(rep)
 	if !rep.Passed() {
 		os.Exit(1)
 	}
 }
 
-// resolvePolicy builds the policy factory from either a built-in name or
-// a DSL file.
-func resolvePolicy(name, dslFile string) (verify.Factory, string, error) {
+// buildCluster assembles the verification session from either a
+// built-in policy name or a DSL file.
+func buildCluster(name, dslFile string, extra ...optsched.Option) (*optsched.Cluster, error) {
 	switch {
 	case name != "" && dslFile != "":
-		return nil, "", fmt.Errorf("schedverify: use -policy or -dsl, not both")
+		return nil, fmt.Errorf("schedverify: use -policy or -dsl, not both")
 	case name != "":
-		if _, err := policy.New(name); err != nil {
-			return nil, "", err
-		}
-		return func() sched.Policy {
-			p, err := policy.New(name)
-			if err != nil {
-				panic(err)
-			}
-			return p
-		}, name, nil
+		return optsched.New(append(extra, optsched.WithPolicy(name))...)
 	case dslFile != "":
 		src, err := os.ReadFile(dslFile)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
-		_, ast, err := dsl.CompileSource(string(src))
-		if err != nil {
-			return nil, "", err
-		}
-		return func() sched.Policy {
-			p, _, err := dsl.CompileSource(string(src))
-			if err != nil {
-				panic(err)
-			}
-			return p
-		}, ast.Name, nil
+		return optsched.New(append(extra, optsched.WithDSL(string(src)))...)
 	}
-	return nil, "", fmt.Errorf("schedverify: need -policy <name> or -dsl <file> (try -list)")
+	return nil, fmt.Errorf("schedverify: need -policy <name> or -dsl <file> (try -list)")
 }
 
 func parseInts(s string) ([]int, error) {

@@ -22,46 +22,46 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
-func TestResolvePolicyBuiltin(t *testing.T) {
-	f, name, err := resolvePolicy("delta2", "")
+func TestBuildClusterBuiltin(t *testing.T) {
+	c, err := buildCluster("delta2", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "delta2" || f().Name() != "delta2" {
-		t.Errorf("resolved %q", name)
+	if c.PolicyName() != "delta2" || c.NewPolicy().Name() != "delta2" {
+		t.Errorf("resolved %q", c.PolicyName())
 	}
-	if _, _, err := resolvePolicy("nope", ""); err == nil {
+	if _, err := buildCluster("nope", ""); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, _, err := resolvePolicy("", ""); err == nil {
+	if _, err := buildCluster("", ""); err == nil {
 		t.Error("empty selection accepted")
 	}
-	if _, _, err := resolvePolicy("delta2", "x.pol"); err == nil {
+	if _, err := buildCluster("delta2", "x.pol"); err == nil {
 		t.Error("both -policy and -dsl accepted")
 	}
 }
 
-func TestResolvePolicyDSL(t *testing.T) {
+func TestBuildClusterDSL(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "p.pol")
 	src := "policy fromfile { filter = stealee.load - thief.load >= 2 }\n"
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f, name, err := resolvePolicy("", path)
+	c, err := buildCluster("", path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "fromfile" || f().Name() != "fromfile" {
-		t.Errorf("resolved %q", name)
+	if c.PolicyName() != "fromfile" || c.NewPolicy().Name() != "fromfile" {
+		t.Errorf("resolved %q", c.PolicyName())
 	}
 	// Missing file and broken DSL both error.
-	if _, _, err := resolvePolicy("", filepath.Join(dir, "missing.pol")); err == nil {
+	if _, err := buildCluster("", filepath.Join(dir, "missing.pol")); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(dir, "bad.pol")
 	os.WriteFile(bad, []byte("policy x {}"), 0o644)
-	if _, _, err := resolvePolicy("", bad); err == nil {
+	if _, err := buildCluster("", bad); err == nil {
 		t.Error("filterless policy accepted")
 	}
 }

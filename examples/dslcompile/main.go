@@ -1,20 +1,18 @@
-// Dslcompile walks the paper's full DSL pipeline in one program: parse a
-// policy written in the scheduling DSL, verify it (the Leon-backend
-// analogue), run it in the executor (the kernel-backend analogue), and
-// emit the generated Go code.
+// Dslcompile walks the paper's full DSL pipeline in one program through
+// the session API: parse a policy written in the scheduling DSL, verify
+// it (the Leon-backend analogue), run it in the real executor (the
+// kernel-backend analogue), and emit the generated Go code. One
+// WithDSL cluster serves both the verification and the execution —
+// that is the paper's "compile once, target every backend" pipeline.
 //
 //	go run ./examples/dslcompile
 package main
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
-	"time"
 
-	"repro/internal/dsl"
-	"repro/internal/engine"
-	"repro/internal/sched"
-	"repro/internal/verify"
+	optsched "repro"
 )
 
 // source is Listing 1 in the DSL.
@@ -29,37 +27,42 @@ policy delta2 {
 `
 
 func main() {
-	// Front end: parse + type-check.
-	ast, err := dsl.Parse(source)
+	ctx := context.Background()
+
+	// Front end: parse + type-check (the session API compiles the same
+	// source internally; parsing here shows the canonicalized policy).
+	ast, err := optsched.ParsePolicy(source)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("parsed policy %q:\n%s\n", ast.Name, ast)
 
-	// Backend 1 (verification): the proof obligations.
-	rep := verify.Policy(ast.Name,
-		func() sched.Policy { return dsl.Compile(ast) }, verify.Config{})
+	cluster, err := optsched.New(
+		optsched.WithDSL(source),
+		optsched.WithBackend(optsched.BackendExecutor),
+		optsched.WithCores(4),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// Backend 1 (verification): the proof obligations, in parallel.
+	rep, err := cluster.Verify(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(rep)
 
 	// Backend 2 (execution): drive the work-stealing executor with the
 	// compiled policy; submit everything to worker 0 and watch steals.
-	pool := engine.NewPool(4, func() sched.Policy { return dsl.Compile(ast) },
-		engine.Options{})
-	defer pool.Close()
-	var done atomic.Int64
-	const tasks = 800
-	for i := 0; i < tasks; i++ {
-		pool.SubmitTo(0, func() {
-			time.Sleep(50 * time.Microsecond)
-			done.Add(1)
-		})
+	res, err := cluster.Run(ctx, optsched.SkewedScenario("dsl-burst", 800, 50))
+	if err != nil {
+		panic(err)
 	}
-	pool.Wait()
-	st := pool.Stats()
 	fmt.Printf("\nexecutor: %d/%d tasks done, %d stolen, %d optimistic failures\n",
-		done.Load(), tasks, st.Steals, st.StealFails)
+		res.Completed, res.Tasks, res.Steals, res.StealFails)
 
 	// Backend 3 (codegen): the Go source a kernel build would compile.
 	fmt.Println("\ngenerated Go backend:")
-	fmt.Println(dsl.Generate(ast, "policies"))
+	fmt.Println(optsched.GeneratePolicyGo(ast, "policies"))
 }

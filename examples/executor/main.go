@@ -1,46 +1,61 @@
-// Executor demonstrates internal/engine as a user library: a
-// work-stealing goroutine pool whose balancer is the paper's verified
+// Executor demonstrates the real work-stealing backend through the
+// session API: a goroutine pool whose balancer is the paper's verified
 // three-step protocol — lock-free selection over published load
-// counters, locked re-validated steals. Skewed submissions spread across
-// workers; optimistic failures are visible in the stats.
+// counters, locked re-validated steals. A skewed submission stream
+// spreads across workers; optimistic failures are visible in the
+// unified Result, and the null-policy baseline shows what no balancing
+// costs.
 //
 //	go run ./examples/executor
 package main
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/engine"
-	"repro/internal/policy"
-	"repro/internal/sched"
+	optsched "repro"
 )
 
 func main() {
-	pool := engine.NewPool(4, func() sched.Policy { return policy.NewDelta2() },
-		engine.Options{})
-	defer pool.Close()
+	ctx := context.Background()
 
-	// A skewed burst: everything lands on worker 0, as if one connection
-	// produced all the work. The balancer must spread it.
-	var done atomic.Int64
-	const tasks = 2000
-	start := time.Now()
-	for i := 0; i < tasks; i++ {
-		pool.SubmitTo(0, func() {
-			time.Sleep(100 * time.Microsecond) // simulated work
-			done.Add(1)
-		})
+	// A skewed burst: 2000 tasks of 100µs each land on worker 0, as if
+	// one connection produced all the work. The balancer must spread it.
+	scenario := optsched.SkewedScenario("skewed-burst", 2000, 100)
+	scenario.Cores = 4
+
+	c, err := optsched.New(
+		optsched.WithPolicy("delta2"),
+		optsched.WithBackend(optsched.BackendExecutor),
+	)
+	if err != nil {
+		panic(err)
 	}
-	pool.Wait()
-	elapsed := time.Since(start)
-
-	st := pool.Stats()
-	fmt.Printf("executed %d/%d tasks in %v\n", st.Executed, tasks, elapsed.Round(time.Millisecond))
-	fmt.Printf("steals: %d tasks migrated, %d optimistic failures\n", st.Steals, st.StealFails)
+	res, err := c.Run(ctx, scenario)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("executed %d/%d tasks in %v\n", res.Completed, res.Tasks, res.Wall.Round(time.Millisecond))
+	fmt.Printf("steals: %d tasks migrated, %d optimistic failures\n", res.Steals, res.StealFails)
 	fmt.Printf("≈%d of %d tasks ran on workers other than the submission target\n",
-		st.Steals, tasks)
-	fmt.Println("\n(the same Submit stream with the null policy would run entirely on worker 0,")
-	fmt.Println(" taking ~4x longer; timer granularity makes absolute times machine-dependent)")
+		res.Steals, res.Tasks)
+
+	// The same stream with the null policy runs entirely on worker 0 —
+	// the cost of not balancing, measured with the identical API.
+	baseline, err := optsched.New(
+		optsched.WithPolicy("null"),
+		optsched.WithBackend(optsched.BackendExecutor),
+	)
+	if err != nil {
+		panic(err)
+	}
+	resNull, err := baseline.Run(ctx, scenario)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nnull policy: %d/%d tasks, %d steals, %v (%.1fx slower; timer\n",
+		resNull.Completed, resNull.Tasks, resNull.Steals, resNull.Wall.Round(time.Millisecond),
+		float64(resNull.Wall)/float64(res.Wall))
+	fmt.Println("granularity makes absolute times machine-dependent)")
 }

@@ -1,43 +1,58 @@
-// Quickstart: build a small machine, run Listing 1's balancer, and watch
-// work conservation emerge — the paper's model in a dozen lines.
+// Quickstart: one session API, three execution substrates. Build a
+// Cluster, run the same skewed scenario on the bare model, the
+// discrete-event simulator and the real work-stealing executor, and
+// read one common Result — then drop to the model primitives to watch
+// work conservation emerge round by round.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/policy"
-	"repro/internal/sched"
+	optsched "repro"
 )
 
 func main() {
-	// The §4.3 example machine: core 0 idle, core 1 with one thread,
-	// core 2 overloaded with two.
-	m := sched.MachineFromLoads(0, 1, 2)
-	p := policy.NewDelta2()
+	ctx := context.Background()
 
-	fmt.Println("initial state:", m.Loads(), "work-conserved:", m.WorkConserved())
-	fmt.Println("potential d =", sched.PairwiseImbalance(p, m))
-
-	for round := 1; !m.WorkConserved(); round++ {
-		res := sched.SequentialRound(p, m)
-		fmt.Printf("round %d: moved %d task(s) -> %v, d = %d\n",
-			round, res.TasksMoved(), m.Loads(), sched.PairwiseImbalance(p, m))
-		for _, att := range res.Attempts {
-			if att.Succeeded() {
-				fmt.Printf("  core %d stole task %v from core %d\n",
-					att.Thief, att.MovedTasks, att.Victim)
-			}
+	// The same scenario — 12 tasks born on core 0 of a 4-core machine —
+	// through every backend via the same Run call.
+	scenario := optsched.SkewedScenario("quickstart", 12, 500)
+	scenario.Cores = 4
+	for _, backend := range optsched.Backends() {
+		c, err := optsched.New(
+			optsched.WithPolicy("delta2"),
+			optsched.WithBackend(backend),
+		)
+		if err != nil {
+			panic(err)
 		}
+		res, err := c.Run(ctx, scenario)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(res)
 	}
-	fmt.Println("final state:", m.Loads(), "work-conserved:", m.WorkConserved())
 
-	// The same in the optimistic concurrent mode: two idle cores race
-	// for one stealable thread; one must fail re-validation.
-	m2 := sched.MachineFromLoads(0, 0, 2)
+	// The model primitives remain available for fine-grained control:
+	// the §4.3 example machine, one round at a time.
+	fmt.Println("\nthe §4.3 machine, round by round:")
+	m := optsched.MachineFromLoads(0, 1, 2)
+	p := optsched.NewDelta2()
+	fmt.Println("initial state:", m.Loads(), "work-conserved:", m.WorkConserved())
+	for round := 1; !m.WorkConserved(); round++ {
+		res := optsched.SequentialRound(p, m)
+		fmt.Printf("round %d: moved %d task(s) -> %v, d = %d\n",
+			round, res.TasksMoved(), m.Loads(), optsched.PairwiseImbalance(p, m))
+	}
+
+	// And the optimistic concurrent mode: two idle cores race for one
+	// stealable thread; one must fail re-validation (§4.3).
+	m2 := optsched.MachineFromLoads(0, 0, 2)
 	fmt.Println("\nconcurrent round on", m2.Loads(), "(two thieves, one stealable thread):")
-	res := sched.ConcurrentRound(p, m2, []int{0, 1, 2})
+	res := optsched.ConcurrentRound(p, m2, []int{0, 1, 2})
 	for _, att := range res.Attempts {
 		fmt.Printf("  core %d -> victim %d: %v\n", att.Thief, att.Victim, att.Reason)
 	}

@@ -1,5 +1,7 @@
-// Verifypolicy shows the verification workflow: write policies as plain
-// Go, check them against the paper's proof obligations, and read the
+// Verifypolicy shows the verification workflow through the session API:
+// write policies as plain Go, install them with WithPolicyFactory,
+// check them against the paper's proof obligations with Cluster.Verify
+// (parallel across obligations, cancellable), and read the
 // counterexamples the checker produces for broken filters.
 //
 // Three policies are checked:
@@ -17,11 +19,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	optsched "repro"
 	"repro/internal/policy"
 	"repro/internal/sched"
-	"repro/internal/verify"
 )
 
 // fancyChooser is an arbitrary placement heuristic: prefer even core IDs,
@@ -45,7 +48,7 @@ func fancyChooser(load func(*sched.Core) int64) sched.ChooseFunc {
 	}
 }
 
-func delta2Fancy() sched.Policy {
+func delta2Fancy() optsched.Policy {
 	p := policy.NewDelta2()
 	p.Chooser = fancyChooser(p.Load)
 	return p
@@ -53,9 +56,9 @@ func delta2Fancy() sched.Policy {
 
 // delta3 steals only across a gap of 3 — too timid: an idle core facing
 // a load-2 overloaded core has no candidate, violating Lemma 1.
-func delta3() sched.Policy {
+func delta3() optsched.Policy {
 	load := func(c *sched.Core) int64 { return int64(c.NThreads()) }
-	return &sched.FuncPolicy{
+	return &optsched.FuncPolicy{
 		PolicyName: "delta3-timid",
 		LoadFn:     load,
 		FilterFn: func(thief, stealee *sched.Core) bool {
@@ -65,14 +68,28 @@ func delta3() sched.Policy {
 }
 
 func main() {
-	fmt.Println("== Delta2 with a custom placement heuristic ==")
-	fmt.Println("(the paper's point: step 2 carries no proof obligations)")
-	fmt.Println(verify.Policy("delta2-fancy-choice", delta2Fancy, verify.Config{}))
-
-	fmt.Println("\n== an overly timid filter (gap >= 3) ==")
-	fmt.Println(verify.Policy("delta3-timid", delta3, verify.Config{}))
-
-	fmt.Println("\n== the paper's greedy counterexample ==")
-	fmt.Println(verify.Policy("greedy-buggy",
-		func() sched.Policy { return policy.NewGreedyBuggy() }, verify.Config{}))
+	ctx := context.Background()
+	cases := []struct {
+		banner  string
+		name    string
+		factory func() optsched.Policy
+	}{
+		{"== Delta2 with a custom placement heuristic ==\n(the paper's point: step 2 carries no proof obligations)",
+			"delta2-fancy-choice", delta2Fancy},
+		{"\n== an overly timid filter (gap >= 3) ==", "delta3-timid", delta3},
+		{"\n== the paper's greedy counterexample ==", "greedy-buggy",
+			func() optsched.Policy { return optsched.NewGreedyBuggy() }},
+	}
+	for _, tc := range cases {
+		fmt.Println(tc.banner)
+		c, err := optsched.New(optsched.WithPolicyFactory(tc.name, tc.factory))
+		if err != nil {
+			panic(err)
+		}
+		rep, err := c.Verify(ctx)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(rep)
+	}
 }

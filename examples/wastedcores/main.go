@@ -1,39 +1,40 @@
 // Wastedcores reproduces the paper's §1 motivation (Lozi et al., "The
-// Linux Scheduler: a Decade of Wasted Cores") in simulation: the CFS
-// group-imbalance bug leaves a core idle while others are overloaded,
-// costing ~25% database throughput and slowing barrier-synchronized
-// scientific code many-fold.
+// Linux Scheduler: a Decade of Wasted Cores") through the session API:
+// the CFS group-imbalance bug leaves a core idle while others are
+// overloaded, costing ~25% database throughput and slowing
+// barrier-synchronized scientific code many-fold. Each policy is one
+// Cluster over the simulator backend; the workloads are the canonical
+// E6 traps.
 //
 //	go run ./examples/wastedcores
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/policy"
-	"repro/internal/sim"
+	optsched "repro"
 	"repro/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
+
 	fmt.Println("=== database trap (4 cores, 2 groups, 1 hog, 5 workers) ===")
 	dbBase := int64(0)
 	for _, name := range []string{"weighted", "cfs-group-buggy", "null"} {
 		trap := workload.NewDBTrap()
-		p, err := policy.New(name)
-		if err != nil {
-			panic(err)
-		}
-		s := sim.New(sim.Config{Cores: trap.Cores(), Policy: p, Groups: trap.Groups(), Seed: 11})
-		trap.Setup(s)
-		st := s.Run(1_500_000)
+		res := runTrap(ctx, name, optsched.Scenario{
+			Name: "db-trap", Cores: trap.Cores(), Groups: trap.Groups(),
+			Workload: trap, Horizon: 1_500_000,
+		})
 		req := trap.Server.Requests()
 		if name == "weighted" {
 			dbBase = req
 		}
 		loss := 100 * float64(dbBase-req) / float64(dbBase)
 		fmt.Printf("%-16s requests=%-6d loss=%5.1f%%  wasted=%5.1f%% of capacity  episodes=%d\n",
-			name, req, loss, st.WastedPct, st.ViolationEpisodes)
+			name, req, loss, res.WastedPct, res.Sim.ViolationEpisodes)
 	}
 	fmt.Println("paper: 'up to 25% decrease in throughput for realistic database workloads'")
 
@@ -41,13 +42,10 @@ func main() {
 	barBase := int64(0)
 	for _, name := range []string{"weighted", "cfs-group-buggy", "null"} {
 		trap := workload.NewBarrierTrap(1700)
-		p, err := policy.New(name)
-		if err != nil {
-			panic(err)
-		}
-		s := sim.New(sim.Config{Cores: trap.Cores(), Policy: p, Groups: trap.Groups(), Seed: 11})
-		trap.Setup(s)
-		s.Run(400_000)
+		runTrap(ctx, name, optsched.Scenario{
+			Name: "barrier-trap", Cores: trap.Cores(), Groups: trap.Groups(),
+			Workload: trap, Horizon: 400_000,
+		})
 		gens := trap.Barrier.Generations()
 		if name == "weighted" {
 			barBase = gens
@@ -56,4 +54,22 @@ func main() {
 		fmt.Printf("%-16s generations=%-5d slowdown=%.1fx\n", name, gens, slowdown)
 	}
 	fmt.Println("paper: 'many-fold performance degradation in the case of scientific applications'")
+}
+
+// runTrap executes one trap scenario under the named policy on the
+// simulator backend.
+func runTrap(ctx context.Context, policy string, sc optsched.Scenario) *optsched.Result {
+	c, err := optsched.New(
+		optsched.WithPolicy(policy),
+		optsched.WithBackend(optsched.BackendSim),
+		optsched.WithSeed(11),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := c.Run(ctx, sc)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/convergence"
@@ -19,11 +20,15 @@ import (
 // work conservation (no idle core while one is overloaded) and full ±1
 // balance. Work conservation is dramatically cheaper — the point of the
 // paper's relaxed definition.
-func E9ConvergenceRate() Result {
+func E9ConvergenceRate(ctx context.Context) Result {
 	t := metrics.NewTable("n", "spike", "diffusion ring", "diffusion cube", "dim-exchange", "steal WC", "steal ±1")
 	const maxRounds = 1_000_000
 	const tol = 1.0 // converged when max−min ≤ 1 task, same bar as steal ±1
 	for _, dim := range []int{3, 4, 5} {
+		if ctx.Err() != nil {
+			t.AddRow("(cancelled)", "-", "-", "-", "-", "-", "-")
+			break
+		}
 		n := 1 << dim
 		total := int64(4 * n)
 		ring := convergence.Ring(n)

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -60,6 +61,15 @@ func verdict(passed bool) string {
 	return "REFUTED"
 }
 
+// resultVerdict renders one obligation result, distinguishing a
+// cancelled (partial) check from a genuine refutation.
+func resultVerdict(res verify.Result) string {
+	if res.Aborted {
+		return "ABORTED (partial)"
+	}
+	return verdict(res.Passed)
+}
+
 func factoryOf(name string) verify.Factory {
 	return func() sched.Policy {
 		p, err := policy.New(name)
@@ -74,7 +84,7 @@ func factoryOf(name string) verify.Factory {
 // the bounded universe. The paper proves it for the simple and weighted
 // balancers; the CFS group-average model must fail it (that failure *is*
 // the wasted-cores bug).
-func E1Lemma1() Result {
+func E1Lemma1(ctx context.Context) Result {
 	t := metrics.NewTable("policy", "universe", "states", "lemma1", "witness")
 	type row struct {
 		name string
@@ -92,13 +102,13 @@ func E1Lemma1() Result {
 	}
 	var failedCFS bool
 	for _, r := range rows {
-		res := verify.CheckLemma1(factoryOf(r.name), r.u)
+		res := verify.CheckLemma1(ctx, factoryOf(r.name), r.u)
 		witness := res.Witness
 		if len(witness) > 60 {
 			witness = witness[:57] + "..."
 		}
-		t.AddRow(r.name, universeLabel(r.u), fmt.Sprint(res.StatesChecked), verdict(res.Passed), witness)
-		if r.name == "cfs-group-buggy" && !res.Passed {
+		t.AddRow(r.name, universeLabel(r.u), fmt.Sprint(res.StatesChecked), resultVerdict(res), witness)
+		if r.name == "cfs-group-buggy" && !res.Passed && !res.Aborted {
 			failedCFS = true
 		}
 	}
@@ -122,7 +132,7 @@ func universeLabel(u statespace.Universe) string {
 
 // E2SequentialConvergence reproduces §4.2: sequential rounds are
 // work-conserving, with the worst-case N measured per machine size.
-func E2SequentialConvergence() Result {
+func E2SequentialConvergence(ctx context.Context) Result {
 	t := metrics.NewTable("policy", "cores", "maxPerCore", "states", "verdict", "worst-N")
 	shapes := []struct{ cores, maxPer, maxTotal int }{
 		{2, 4, 0}, {3, 3, 5}, {4, 2, 6},
@@ -131,9 +141,9 @@ func E2SequentialConvergence() Result {
 		for _, s := range shapes {
 			u := statespace.Universe{Cores: s.cores, MaxPerCore: s.maxPer,
 				MaxTotal: s.maxTotal, IncludeUnscheduled: true}
-			res := verify.CheckWorkConservationSequential(factoryOf(name), u, 0)
+			res := verify.CheckWorkConservationSequential(ctx, factoryOf(name), u, 0)
 			t.AddRow(name, fmt.Sprint(s.cores), fmt.Sprint(s.maxPer),
-				fmt.Sprint(res.StatesChecked), verdict(res.Passed), fmt.Sprint(res.Bound))
+				fmt.Sprint(res.StatesChecked), resultVerdict(res), fmt.Sprint(res.Bound))
 		}
 	}
 	return Result{
@@ -147,15 +157,15 @@ func E2SequentialConvergence() Result {
 
 // E3Counterexample reproduces §4.3's ping-pong: the model checker finds
 // the livelock for the greedy filter and proves its absence for Delta2.
-func E3Counterexample() Result {
+func E3Counterexample(ctx context.Context) Result {
 	t := metrics.NewTable("policy", "states", "schedules", "verdict", "worst-N")
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
 	var witness string
 	for _, name := range []string{"delta2", "greedy-buggy"} {
-		res := verify.CheckWorkConservationConcurrent(factoryOf(name), u)
+		res := verify.CheckWorkConservationConcurrent(ctx, factoryOf(name), u)
 		t.AddRow(name, fmt.Sprint(res.StatesChecked), fmt.Sprint(res.SchedulesChecked),
-			verdict(res.Passed), fmt.Sprint(res.Bound))
-		if !res.Passed && witness == "" {
+			resultVerdict(res), fmt.Sprint(res.Bound))
+		if !res.Passed && !res.Aborted && witness == "" {
 			witness = res.Witness
 		}
 	}
@@ -170,10 +180,10 @@ func E3Counterexample() Result {
 // pairwise imbalance strictly decreases per successful steal for sound
 // policies, refuted with a witness for the greedy filter; the potential
 // bound is compared against observed steal counts.
-func E4Potential() Result {
+func E4Potential(ctx context.Context) Result {
 	t := metrics.NewTable("policy", "states", "verdict", "example machine", "d0", "bound", "observed steals")
 	for _, name := range []string{"delta2", "weighted", "greedy-buggy", "delta1-aggressive"} {
-		res := verify.CheckPotentialDecrease(factoryOf(name), defaultUniverse())
+		res := verify.CheckPotentialDecrease(ctx, factoryOf(name), defaultUniverse())
 		// Observed steals to fixpoint on a canonical machine.
 		p := factoryOf(name)()
 		m := sched.MachineFromLoads(0, 6, 2, 0)
@@ -187,7 +197,7 @@ func E4Potential() Result {
 				break
 			}
 		}
-		t.AddRow(name, fmt.Sprint(res.StatesChecked), verdict(res.Passed),
+		t.AddRow(name, fmt.Sprint(res.StatesChecked), resultVerdict(res),
 			"[0 6 2 0]", fmt.Sprint(d0), fmt.Sprint(bound), fmt.Sprint(steals))
 	}
 	return Result{
@@ -203,7 +213,7 @@ func E4Potential() Result {
 // balancing round by core count, the concurrent (snapshot) mode's
 // premium, and the DSL-interpreter's overhead versus the native policy —
 // design constraint (iii), "incurring low overhead".
-func E5RoundCost() Result {
+func E5RoundCost(ctx context.Context) Result {
 	t := metrics.NewTable("cores", "sequential ns/round", "concurrent ns/round", "dsl ns/round", "dsl overhead")
 	src := `policy delta2_dsl {
     load   = self.ready.size + self.current.size
@@ -216,6 +226,10 @@ func E5RoundCost() Result {
 		panic(err)
 	}
 	for _, cores := range []int{4, 16, 64} {
+		if ctx.Err() != nil {
+			t.AddRow("(cancelled)", "-", "-", "-", "-")
+			break
+		}
 		loads := make([]int, cores)
 		for i := range loads {
 			loads[i] = (i * 7 % 5)
@@ -257,24 +271,35 @@ func timeRound(round func(*sched.Machine), loads []int) int64 {
 // trap (up to ~25% throughput loss) and the barrier trap (many-fold
 // slowdown) under the buggy group-average policy versus work-conserving
 // policies.
-func E6WastedCores() Result {
+func E6WastedCores(ctx context.Context) Result {
 	t := metrics.NewTable("policy", "db req/1.5Mticks", "db loss", "barrier gens/400k", "slowdown", "wasted%")
 	const horizon = 1_500_000
 	dbBase, barBase := int64(0), int64(0)
 	policies := []string{"weighted", "hierarchical", "delta2", "cfs-group-buggy", "null"}
 	for _, name := range policies {
+		if ctx.Err() != nil {
+			t.AddRow("(cancelled)", "-", "-", "-", "-", "-")
+			break
+		}
 		dbTrap := workload.NewDBTrap()
 		s := sim.New(sim.Config{Cores: dbTrap.Cores(), Policy: mustPolicy(name),
 			Groups: dbTrap.Groups(), Seed: 11})
 		dbTrap.Setup(s)
-		st := s.Run(horizon)
+		st, err := s.RunContext(ctx, horizon)
+		if err != nil {
+			t.AddRow("(cancelled)", "-", "-", "-", "-", "-")
+			break
+		}
 		req := dbTrap.Server.Requests()
 
 		barTrap := workload.NewBarrierTrap(1700)
 		s2 := sim.New(sim.Config{Cores: barTrap.Cores(), Policy: mustPolicy(name),
 			Groups: barTrap.Groups(), Seed: 11})
 		barTrap.Setup(s2)
-		s2.Run(400_000)
+		if _, err := s2.RunContext(ctx, 400_000); err != nil {
+			t.AddRow("(cancelled)", "-", "-", "-", "-", "-")
+			break
+		}
 		gens := barTrap.Barrier.Generations()
 
 		if name == "weighted" {
@@ -311,20 +336,20 @@ func mustPolicy(name string) sched.Policy {
 // E7Hierarchical reproduces the §5 extension: two-level balancing passes
 // the identical obligations (no new proof work), and NUMA-aware choice
 // changes steal locality without touching the filter.
-func E7Hierarchical() Result {
+func E7Hierarchical(ctx context.Context) Result {
 	t := metrics.NewTable("check", "policy", "result", "detail")
 	u := statespace.Universe{Cores: 4, MaxPerCore: 2, MaxTotal: 4,
 		IncludeUnscheduled: true, Groups: []int{0, 0, 1, 1}}
 	for _, ob := range []verify.ObligationID{verify.ObLemma1, verify.ObStealSoundness,
 		verify.ObPotentialDecrease, verify.ObWorkConservSeq, verify.ObChoiceIndependence} {
-		rep := verify.Policy("hierarchical", factoryOf("hierarchical"),
+		rep, _ := verify.PolicyContext(ctx, "hierarchical", factoryOf("hierarchical"),
 			verify.Config{Universe: u, Obligations: []verify.ObligationID{ob}})
 		res := rep.Results[0]
 		detail := fmt.Sprintf("states=%d", res.StatesChecked)
 		if res.SchedulesChecked > 0 {
 			detail += fmt.Sprintf(" schedules=%d", res.SchedulesChecked)
 		}
-		t.AddRow(string(ob), "hierarchical", verdict(res.Passed), detail)
+		t.AddRow(string(ob), "hierarchical", resultVerdict(res), detail)
 	}
 	// Locality: fraction of intra-group steals, NUMA-aware vs plain.
 	for _, variant := range []string{"delta2", "numa-aware"} {
@@ -379,19 +404,22 @@ func localitySample(variant string) (intra, total int) {
 // re-validation ablation breaks soundness, and the real executor shows
 // the protocol live (steals succeed, optimistic failures happen, nothing
 // corrupts).
-func E8Concurrent() Result {
+func E8Concurrent(ctx context.Context) Result {
 	t := metrics.NewTable("check", "policy", "result", "detail")
 	u := defaultUniverse()
-	res := verify.CheckFailureImpliesSuccess(factoryOf("delta2"), u)
-	t.AddRow("failure implies success", "delta2", verdict(res.Passed),
+	res := verify.CheckFailureImpliesSuccess(ctx, factoryOf("delta2"), u)
+	t.AddRow("failure implies success", "delta2", resultVerdict(res),
 		fmt.Sprintf("%d schedules", res.SchedulesChecked))
-	resC := verify.CheckWorkConservationConcurrent(factoryOf("delta2"), u)
-	t.AddRow("concurrent WC", "delta2", verdict(resC.Passed),
+	resC := verify.CheckWorkConservationConcurrent(ctx, factoryOf("delta2"), u)
+	t.AddRow("concurrent WC", "delta2", resultVerdict(resC),
 		fmt.Sprintf("worst-N=%d over %d schedules", resC.Bound, resC.SchedulesChecked))
-	abl := verify.CheckRevalidationAblation(factoryOf("delta2"),
+	abl := verify.CheckRevalidationAblation(ctx, factoryOf("delta2"),
 		statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true})
-	t.AddRow("ablation: no re-validation", "delta2",
-		fmt.Sprintf("%d soundness violations", abl.SoundnessViolations),
+	ablResult := fmt.Sprintf("%d soundness violations", abl.SoundnessViolations)
+	if abl.Aborted {
+		ablResult = "ABORTED (partial): " + ablResult
+	}
+	t.AddRow("ablation: no re-validation", "delta2", ablResult,
 		fmt.Sprintf("%d schedules; e.g. %s", abl.SchedulesChecked, clip(abl.FirstWitness, 48)))
 	return Result{
 		ID: "E8", Title: "Optimistic concurrency: failures, ablation (§3.1, §4.3)", Table: t,
@@ -408,11 +436,20 @@ func clip(s string, n int) string {
 	return s[:n-3] + "..."
 }
 
-// All regenerates every experiment in order.
-func All() []Result {
-	return []Result{
-		E1Lemma1(), E2SequentialConvergence(), E3Counterexample(), E4Potential(),
-		E5RoundCost(), E6WastedCores(), E7Hierarchical(), E8Concurrent(),
-		E9ConvergenceRate(),
+// All regenerates every experiment in order, stopping early when ctx is
+// cancelled (the experiments already produced are returned).
+func All(ctx context.Context) []Result {
+	runners := []func(context.Context) Result{
+		E1Lemma1, E2SequentialConvergence, E3Counterexample, E4Potential,
+		E5RoundCost, E6WastedCores, E7Hierarchical, E8Concurrent,
+		E9ConvergenceRate,
 	}
+	var results []Result
+	for _, run := range runners {
+		if ctx.Err() != nil {
+			break
+		}
+		results = append(results, run(ctx))
+	}
+	return results
 }

@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestE1Lemma1Shape(t *testing.T) {
-	r := E1Lemma1()
+	r := E1Lemma1(context.Background())
 	out := r.Table.String()
 	// The sound policies must be proved, the CFS model refuted.
 	for _, frag := range []string{"delta2", "weighted", "hierarchical", "cfs-group-buggy"} {
@@ -36,7 +37,7 @@ func rowVerdict(table, policy, verdict string) bool {
 }
 
 func TestE2SequentialShape(t *testing.T) {
-	r := E2SequentialConvergence()
+	r := E2SequentialConvergence(context.Background())
 	out := r.Table.String()
 	// Everything passes sequentially, including greedy.
 	if strings.Contains(out, "REFUTED") {
@@ -48,7 +49,7 @@ func TestE2SequentialShape(t *testing.T) {
 }
 
 func TestE3CounterexampleShape(t *testing.T) {
-	r := E3Counterexample()
+	r := E3Counterexample(context.Background())
 	out := r.Table.String()
 	if !rowVerdict(out, "delta2", "PROVED") {
 		t.Errorf("delta2 should pass concurrent WC:\n%s", out)
@@ -68,7 +69,7 @@ func TestE3CounterexampleShape(t *testing.T) {
 }
 
 func TestE4PotentialShape(t *testing.T) {
-	r := E4Potential()
+	r := E4Potential(context.Background())
 	out := r.Table.String()
 	if !rowVerdict(out, "delta2", "PROVED") || !rowVerdict(out, "weighted", "PROVED") {
 		t.Errorf("sound policies should pass potential decrease:\n%s", out)
@@ -79,7 +80,7 @@ func TestE4PotentialShape(t *testing.T) {
 }
 
 func TestE5RoundCostShape(t *testing.T) {
-	r := E5RoundCost()
+	r := E5RoundCost(context.Background())
 	out := r.Table.String()
 	for _, cores := range []string{"4", "16", "64"} {
 		if !strings.Contains(out, cores) {
@@ -92,7 +93,7 @@ func TestE5RoundCostShape(t *testing.T) {
 }
 
 func TestE6WastedCoresShape(t *testing.T) {
-	r := E6WastedCores()
+	r := E6WastedCores(context.Background())
 	out := r.Table.String()
 	// Null must be the worst; buggy must lose vs weighted.
 	if !strings.Contains(out, "cfs-group-buggy") || !strings.Contains(out, "null") {
@@ -114,7 +115,7 @@ func TestE6WastedCoresShape(t *testing.T) {
 }
 
 func TestE7HierarchicalShape(t *testing.T) {
-	r := E7Hierarchical()
+	r := E7Hierarchical(context.Background())
 	out := r.Table.String()
 	if strings.Contains(out, "REFUTED") {
 		t.Errorf("hierarchical obligations should all pass:\n%s", out)
@@ -125,7 +126,7 @@ func TestE7HierarchicalShape(t *testing.T) {
 }
 
 func TestE8ConcurrentShape(t *testing.T) {
-	r := E8Concurrent()
+	r := E8Concurrent(context.Background())
 	out := r.Table.String()
 	if !strings.Contains(out, "failure implies success") {
 		t.Errorf("missing failure-implies-success row:\n%s", out)
@@ -140,7 +141,7 @@ func TestE8ConcurrentShape(t *testing.T) {
 }
 
 func TestE9ConvergenceShape(t *testing.T) {
-	r := E9ConvergenceRate()
+	r := E9ConvergenceRate(context.Background())
 	out := r.Table.String()
 	for _, n := range []string{"8", "16", "32"} {
 		if !strings.Contains(out, n) {
@@ -158,9 +159,9 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite in short mode")
 	}
-	rs := All()
+	rs := All(context.Background())
 	if len(rs) != 9 {
-		t.Fatalf("All() = %d experiments, want 9", len(rs))
+		t.Fatalf("All(context.Background()) = %d experiments, want 9", len(rs))
 	}
 	for i, r := range rs {
 		want := "E" + string(rune('1'+i))

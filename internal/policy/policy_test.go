@@ -379,8 +379,8 @@ func TestDelta1AggressiveSwaps(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 9 {
-		t.Errorf("Names() = %v, want 9 policies", names)
+	if len(names) != 10 {
+		t.Errorf("Names() = %v, want 10 policies", names)
 	}
 	for _, n := range names {
 		p, err := New(n)
@@ -462,4 +462,63 @@ func TestWeightedPickerSoundProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestRegistrySpecs(t *testing.T) {
+	specs := Specs()
+	if len(specs) != len(Names()) {
+		t.Fatalf("Specs() has %d entries, Names() %d", len(specs), len(Names()))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].Name >= specs[i].Name {
+			t.Errorf("Specs() not sorted: %q before %q", specs[i-1].Name, specs[i].Name)
+		}
+	}
+	for _, s := range specs {
+		if s.Doc == "" || s.Provenance == "" {
+			t.Errorf("spec %q missing metadata: %+v", s.Name, s)
+		}
+		if s.NeedsTopology != (s.TopologyFactory != nil) {
+			t.Errorf("spec %q: NeedsTopology=%v but TopologyFactory set=%v", s.Name, s.NeedsTopology, s.TopologyFactory != nil)
+		}
+		if p := s.New(nil); p == nil || p.Name() == "" {
+			t.Errorf("spec %q built an unnamed policy", s.Name)
+		}
+	}
+}
+
+func TestRegistryNUMAAware(t *testing.T) {
+	s, ok := Lookup("numa-aware")
+	if !ok || !s.NeedsTopology {
+		t.Fatalf("numa-aware not registered as topology-needing: %+v", s)
+	}
+	// Constructible without a topology (default 2×4 NUMA machine)…
+	p, err := New("numa-aware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+	// …and with an explicit one.
+	if _, err := NewWithTopology("numa-aware", topology.NUMA(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterRejectsBadSpecs(t *testing.T) {
+	mustPanic := func(name string, s Spec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	mustPanic("empty name", Spec{})
+	mustPanic("duplicate", Spec{Name: "delta2", Factory: func() sched.Policy { return NewDelta2() }})
+	mustPanic("both factories", Spec{Name: "x", Factory: func() sched.Policy { return NewDelta2() },
+		TopologyFactory: func(*topology.Topology) sched.Policy { return NewDelta2() }, NeedsTopology: true})
+	mustPanic("no factory", Spec{Name: "y"})
 }

@@ -3,8 +3,10 @@ package policy
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/sched"
+	"repro/internal/topology"
 )
 
 // Factory constructs a fresh policy instance. Policies carrying per-round
@@ -13,38 +15,198 @@ import (
 // worker set — must construct its own instance through a Factory.
 type Factory func() sched.Policy
 
-// registry maps policy names to factories for the command-line tools.
-var registry = map[string]Factory{
-	"delta2":            func() sched.Policy { return NewDelta2() },
-	"weighted":          func() sched.Policy { return NewWeighted() },
-	"greedy-buggy":      func() sched.Policy { return NewGreedyBuggy() },
-	"cfs-group-buggy":   func() sched.Policy { return NewCFSGroupBuggy() },
-	"hierarchical":      func() sched.Policy { return NewHierarchical() },
-	"random-choice":     func() sched.Policy { return NewRandomChoice(1) },
-	"null":              func() sched.Policy { return NewNull() },
-	"delta1-aggressive": func() sched.Policy { return NewDelta1Aggressive() },
-	// delta2-gen is the DSL code-generation backend's output for
-	// Listing 1 (internal/dsl/testdata/delta2.pol), committed as
-	// gen_delta2.go and kept behaviorally identical to delta2 by
-	// TestGeneratedDelta2MatchesEverything.
-	"delta2-gen": func() sched.Policy { return &Delta2Gen{} },
+// Provenance classifies how a registered policy relates to the paper's
+// verification story. It is informational metadata for listings and docs;
+// nothing dispatches on it.
+type Provenance string
+
+const (
+	// ProvenanceProved marks policies that pass every proof obligation
+	// over the default bounded universe.
+	ProvenanceProved Provenance = "proved"
+	// ProvenanceRefuted marks the paper's counterexamples: policies the
+	// checker refutes with a concrete witness.
+	ProvenanceRefuted Provenance = "refuted"
+	// ProvenanceBaseline marks measurement baselines (e.g. the null
+	// balancer) that are trivially safe but not work-conserving.
+	ProvenanceBaseline Provenance = "baseline"
+	// ProvenanceGenerated marks policies emitted by the DSL code
+	// generator and committed to the tree.
+	ProvenanceGenerated Provenance = "generated"
+)
+
+// Spec describes one registered policy: how to build it plus the metadata
+// the facade and the command-line tools surface in listings.
+type Spec struct {
+	// Name is the registry key (e.g. "delta2").
+	Name string
+	// Factory builds a fresh instance for topology-free policies. Exactly
+	// one of Factory and TopologyFactory must be set, matching
+	// NeedsTopology.
+	Factory Factory
+	// TopologyFactory builds a fresh instance of a policy that needs a
+	// machine topology (set iff NeedsTopology).
+	TopologyFactory func(*topology.Topology) sched.Policy
+	// NeedsTopology reports whether construction requires a topology;
+	// New falls back to DefaultTopology when the caller supplies none.
+	NeedsTopology bool
+	// Provenance classifies the policy's verification status.
+	Provenance Provenance
+	// Doc is a one-line description for listings.
+	Doc string
 }
 
-// New returns a fresh instance of the named built-in policy.
-func New(name string) (sched.Policy, error) {
-	f, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+// New builds a fresh instance from the spec. A nil topology selects
+// DefaultTopology for topology-needing policies and is ignored otherwise.
+func (s Spec) New(top *topology.Topology) sched.Policy {
+	if s.NeedsTopology {
+		if top == nil {
+			top = DefaultTopology()
+		}
+		return s.TopologyFactory(top)
 	}
-	return f(), nil
+	return s.Factory()
+}
+
+// DefaultTopology is the topology used when a topology-needing policy is
+// constructed without one: 2 NUMA nodes × 4 cores, the smallest machine
+// on which locality preferences are observable.
+func DefaultTopology() *topology.Topology { return topology.NUMA(2, 4) }
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Spec{}
+)
+
+// Register adds a policy spec to the registry. It panics on duplicate
+// names or structurally invalid specs — registration is code, not input.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("policy: Register with empty Name")
+	}
+	if s.NeedsTopology != (s.TopologyFactory != nil) || s.NeedsTopology == (s.Factory != nil) {
+		panic(fmt.Sprintf("policy: Register(%q) must set exactly one of Factory (NeedsTopology=false) or TopologyFactory (NeedsTopology=true)", s.Name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("policy: Register(%q) called twice", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Specs lists every registered spec, sorted by name — the deterministic
+// listing the facade and the CLIs render.
+func Specs() []Spec {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	specs := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
 }
 
 // Names lists the registered policy names, sorted.
 func Names() []string {
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
+	specs := Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
 	}
-	sort.Strings(names)
 	return names
+}
+
+// New returns a fresh instance of the named built-in policy,
+// constructing topology-needing policies over DefaultTopology.
+func New(name string) (sched.Policy, error) {
+	return NewWithTopology(name, nil)
+}
+
+// NewWithTopology returns a fresh instance of the named policy built for
+// the given topology (nil = DefaultTopology for policies that need one;
+// topology-free policies ignore it).
+func NewWithTopology(name string, top *topology.Topology) (sched.Policy, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+	}
+	return s.New(top), nil
+}
+
+func init() {
+	Register(Spec{
+		Name:       "delta2",
+		Factory:    func() sched.Policy { return NewDelta2() },
+		Provenance: ProvenanceProved,
+		Doc:        "Listing 1's simple balancer: steal one task across a load gap >= 2",
+	})
+	Register(Spec{
+		Name:       "weighted",
+		Factory:    func() sched.Policy { return NewWeighted() },
+		Provenance: ProvenanceProved,
+		Doc:        "niceness-weighted balancer over per-task load weights",
+	})
+	Register(Spec{
+		Name:       "greedy-buggy",
+		Factory:    func() sched.Policy { return NewGreedyBuggy() },
+		Provenance: ProvenanceRefuted,
+		Doc:        "the §4.3 counterexample: concurrent rounds livelock (ping-pong)",
+	})
+	Register(Spec{
+		Name:       "cfs-group-buggy",
+		Factory:    func() sched.Policy { return NewCFSGroupBuggy() },
+		Provenance: ProvenanceRefuted,
+		Doc:        "Lozi et al.'s group-imbalance bug: group averages hide idle cores",
+	})
+	Register(Spec{
+		Name:       "hierarchical",
+		Factory:    func() sched.Policy { return NewHierarchical() },
+		Provenance: ProvenanceProved,
+		Doc:        "§5 two-level balancer: steal within the group, then across",
+	})
+	Register(Spec{
+		Name:       "random-choice",
+		Factory:    func() sched.Policy { return NewRandomChoice(1) },
+		Provenance: ProvenanceProved,
+		Doc:        "Delta2 with a pseudo-random step-2 choice (choice independence demo)",
+	})
+	Register(Spec{
+		Name:       "null",
+		Factory:    func() sched.Policy { return NewNull() },
+		Provenance: ProvenanceBaseline,
+		Doc:        "no balancing at all: the E6 lower bound",
+	})
+	Register(Spec{
+		Name:       "delta1-aggressive",
+		Factory:    func() sched.Policy { return NewDelta1Aggressive() },
+		Provenance: ProvenanceRefuted,
+		Doc:        "over-eager gap>=1 filter: unbounded steal sequences",
+	})
+	// delta2-gen is the DSL code-generation backend's output for
+	// Listing 1 (internal/dsl/testdata/delta2.pol), committed as
+	// gen_delta2.go and kept behaviorally identical to delta2 by
+	// TestGeneratedDelta2MatchesEverything.
+	Register(Spec{
+		Name:       "delta2-gen",
+		Factory:    func() sched.Policy { return &Delta2Gen{} },
+		Provenance: ProvenanceGenerated,
+		Doc:        "Listing 1 as emitted by the DSL Go backend (scheddsl -gen)",
+	})
+	Register(Spec{
+		Name:            "numa-aware",
+		TopologyFactory: func(top *topology.Topology) sched.Policy { return NewNUMAAware(top) },
+		NeedsTopology:   true,
+		Provenance:      ProvenanceProved,
+		Doc:             "Delta2 with a locality-preferring step-2 choice over the machine topology",
+	})
 }

@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -192,7 +193,19 @@ func (s *Simulator) emit(kind trace.Kind, core int, task int64, aux int64) {
 // returns the accumulated statistics. Run may be called repeatedly with
 // increasing horizons.
 func (s *Simulator) Run(until int64) Stats {
-	for s.q.peekTime() <= until {
+	st, _ := s.RunContext(context.Background(), until)
+	return st
+}
+
+// RunContext is Run with cooperative cancellation: the event loop
+// checks ctx every 256 events and stops early — without advancing the
+// clock to the horizon or emitting an artificial final observation —
+// returning the statistics at the stop point alongside ctx's error.
+func (s *Simulator) RunContext(ctx context.Context, until int64) (Stats, error) {
+	for n := 0; s.q.peekTime() <= until; n++ {
+		if n%256 == 0 && ctx.Err() != nil {
+			return s.snapshot(), ctx.Err()
+		}
 		e := s.q.pop()
 		s.clock = e.time
 		switch e.kind {
@@ -209,7 +222,7 @@ func (s *Simulator) Run(until int64) Stats {
 	}
 	s.clock = until
 	s.observe()
-	return s.snapshot()
+	return s.snapshot(), nil
 }
 
 // observe feeds the violation tracker with the current occupancy.

@@ -34,6 +34,27 @@ type Universe struct {
 	Groups []int
 }
 
+// Validate checks the universe's structural invariants and returns the
+// first problem found, or nil — the error-returning counterpart of the
+// panics Enumerate raises on malformed universes.
+func (u Universe) Validate() error {
+	if u.Cores < 0 {
+		return fmt.Errorf("statespace: universe with %d cores", u.Cores)
+	}
+	if u.MaxPerCore < 0 || u.MaxTotal < 0 {
+		return fmt.Errorf("statespace: negative MaxPerCore/MaxTotal")
+	}
+	if u.Groups != nil && u.Cores > 0 && len(u.Groups) != u.Cores {
+		return fmt.Errorf("statespace: %d group assignments for %d cores", len(u.Groups), u.Cores)
+	}
+	for _, w := range u.Weights {
+		if w <= 0 {
+			return fmt.Errorf("statespace: non-positive task weight %d", w)
+		}
+	}
+	return nil
+}
+
 // Size returns the number of states Enumerate will produce. It mirrors
 // Enumerate's loop structure rather than a closed formula so the two can
 // never disagree.

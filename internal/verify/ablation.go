@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sched"
@@ -23,6 +24,9 @@ type AblationResult struct {
 	PotentialViolations int
 	// FirstWitness describes the first violation found.
 	FirstWitness string
+	// Aborted reports that the enumeration was cut short by context
+	// cancellation; the counts above cover only the states visited.
+	Aborted bool
 }
 
 // CheckRevalidationAblation runs every state of the universe through
@@ -32,9 +36,13 @@ type AblationResult struct {
 // safe half (that is asserted, not counted) and the unsafe half
 // demonstrates why the paper's model requires atomic, re-validated
 // steals.
-func CheckRevalidationAblation(f Factory, u statespace.Universe) AblationResult {
+func CheckRevalidationAblation(ctx context.Context, f Factory, u statespace.Universe) AblationResult {
 	var res AblationResult
 	u.Enumerate(func(m *sched.Machine) bool {
+		if ctx.Err() != nil {
+			res.Aborted = true
+			return false
+		}
 		res.StatesChecked++
 		statespace.Permutations(m.NumCores(), func(order []int) bool {
 			res.SchedulesChecked++

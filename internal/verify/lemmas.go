@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sched"
@@ -27,9 +28,12 @@ func beginRound(p sched.Policy, view *sched.Machine) {
 //
 // The paper proves this with Leon for the sequential setting; here it is
 // established by exhaustion up to the universe bound.
-func CheckLemma1(f Factory, u statespace.Universe) Result {
+func CheckLemma1(ctx context.Context, f Factory, u statespace.Universe) Result {
 	res := Result{ID: ObLemma1, Passed: true}
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		p := f()
 		beginRound(p, m)
@@ -77,9 +81,12 @@ func CheckLemma1(f Factory, u statespace.Universe) Result {
 //     concurrent steal interferes);
 //   - the stealee does not end up idle ("does not steal too much");
 //   - the thread population and structural invariants are preserved.
-func CheckStealSoundness(f Factory, u statespace.Universe) Result {
+func CheckStealSoundness(ctx context.Context, f Factory, u statespace.Universe) Result {
 	res := Result{ID: ObStealSoundness, Passed: true}
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		p := f()
 		beginRound(p, m)
@@ -132,9 +139,12 @@ func stealViolation(before, after *sched.Machine, att *sched.Attempt, ti, si int
 // every steal the filter admits strictly decreases the pairwise imbalance
 // d, over every state and admitted pair. A policy failing this has
 // unbounded steal sequences available (the GreedyBuggy ping-pong).
-func CheckPotentialDecrease(f Factory, u statespace.Universe) Result {
+func CheckPotentialDecrease(ctx context.Context, f Factory, u statespace.Universe) Result {
 	res := Result{ID: ObPotentialDecrease, Passed: true}
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		p := f()
 		beginRound(p, m)
@@ -173,9 +183,12 @@ func CheckPotentialDecrease(f Factory, u statespace.Universe) Result {
 // argument in the paper: only the stealing phase mutates runqueues, so a
 // filter that flipped between selection and steal must have been flipped
 // by a completed steal.
-func CheckFailureImpliesSuccess(f Factory, u statespace.Universe) Result {
+func CheckFailureImpliesSuccess(ctx context.Context, f Factory, u statespace.Universe) Result {
 	res := Result{ID: ObFailureImpliesSucc, Passed: true}
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		ok := statespace.Permutations(m.NumCores(), func(order []int) bool {
 			res.SchedulesChecked++

@@ -51,6 +51,10 @@ type Result struct {
 	// Passed reports whether the obligation holds over the whole
 	// universe.
 	Passed bool
+	// Aborted reports that the check was cut short by context
+	// cancellation: Passed is false but nothing was refuted, and the
+	// counts below cover only the part of the universe visited.
+	Aborted bool
 	// Witness describes the first violating state/schedule when the
 	// obligation fails; empty otherwise.
 	Witness string
@@ -68,7 +72,10 @@ type Result struct {
 // String renders a single-line summary.
 func (r Result) String() string {
 	status := "PASS"
-	if !r.Passed {
+	switch {
+	case r.Aborted:
+		status = "ABORTED"
+	case !r.Passed:
 		status = "FAIL"
 	}
 	var b strings.Builder
@@ -116,6 +123,17 @@ func (r *Report) Failed() []ObligationID {
 	return ids
 }
 
+// Aborted returns the IDs of obligations cut short by cancellation.
+func (r *Report) Aborted() []ObligationID {
+	var ids []ObligationID
+	for _, res := range r.Results {
+		if res.Aborted {
+			ids = append(ids, res.ID)
+		}
+	}
+	return ids
+}
+
 // Result returns the result for the given obligation, or nil.
 func (r *Report) Result(id ObligationID) *Result {
 	for i := range r.Results {
@@ -129,9 +147,24 @@ func (r *Report) Result(id ObligationID) *Result {
 // String renders the full report.
 func (r *Report) String() string {
 	var b strings.Builder
+	// Conclusive refutations outrank cancellation: a policy refuted
+	// before the cut is refuted, however many obligations were left
+	// unfinished.
+	var refuted []ObligationID
+	for _, res := range r.Results {
+		if !res.Passed && !res.Aborted {
+			refuted = append(refuted, res.ID)
+		}
+	}
+	aborted := r.Aborted()
 	verdict := "WORK-CONSERVING (all obligations hold over the bounded universe)"
-	if !r.Passed() {
-		verdict = fmt.Sprintf("NOT PROVEN: failed %v", r.Failed())
+	switch {
+	case len(refuted) > 0 && len(aborted) > 0:
+		verdict = fmt.Sprintf("NOT PROVEN: failed %v (cancelled with %v unfinished)", refuted, aborted)
+	case len(refuted) > 0:
+		verdict = fmt.Sprintf("NOT PROVEN: failed %v", refuted)
+	case len(aborted) > 0:
+		verdict = fmt.Sprintf("ABORTED: cancelled with obligations unfinished %v", aborted)
 	}
 	fmt.Fprintf(&b, "policy %s over %s\n", r.Policy, r.Universe)
 	for _, res := range r.Results {

@@ -1,7 +1,9 @@
 package verify
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/statespace"
 )
@@ -15,6 +17,10 @@ type Config struct {
 	// MaxRounds caps sequential convergence loops (safety valve for
 	// non-converging policies). Zero means 1000.
 	MaxRounds int
+	// Sequential forces the obligations to run one after another on the
+	// calling goroutine instead of in parallel — for deterministic
+	// profiling and debugging.
+	Sequential bool
 }
 
 // DefaultUniverse is the bounded universe used when a Config leaves it
@@ -49,7 +55,29 @@ func AllObligations() []ObligationID {
 // obligations over the configured bounded universe and returns the full
 // report. This is the library's analogue of running the paper's Leon
 // pipeline on a DSL policy.
+//
+// Obligations run sequentially on the calling goroutine, preserving this
+// entry point's original contract (f is never called concurrently); use
+// PolicyContext for the parallel, cancellable variant.
 func Policy(name string, f Factory, cfg Config) *Report {
+	cfg.Sequential = true
+	rep, _ := PolicyContext(context.Background(), name, f, cfg)
+	return rep
+}
+
+// PolicyContext is Policy with cancellation and parallelism: the selected
+// obligations run concurrently (one goroutine each — a real speedup on
+// the 8-obligation suite, whose game-graph checks dominate), and the
+// whole run aborts early when ctx is cancelled. Because obligations run
+// concurrently, f must be safe for concurrent calls; every registered
+// and DSL-compiled factory is, since each call constructs a fresh
+// policy.
+//
+// On cancellation the returned report is partial — obligations cut short
+// are marked failed with an "aborted" witness — and the returned error
+// is ctx.Err(). A nil error means every selected obligation ran to
+// completion (even if ctx was cancelled just after the suite finished).
+func PolicyContext(ctx context.Context, name string, f Factory, cfg Config) (*Report, error) {
 	u := cfg.Universe
 	if u.Cores == 0 {
 		u = DefaultUniverse()
@@ -58,34 +86,93 @@ func Policy(name string, f Factory, cfg Config) *Report {
 	if obligations == nil {
 		obligations = AllObligations()
 	}
+	for _, id := range obligations {
+		if !KnownObligation(id) {
+			panic(fmt.Sprintf("verify: unknown obligation %q", id))
+		}
+	}
 	rep := &Report{
 		Policy: name,
 		Universe: fmt.Sprintf("universe{cores:%d maxPerCore:%d maxTotal:%d weights:%v unscheduled:%v groups:%v}",
 			u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups),
 	}
-	for _, id := range obligations {
-		var r Result
-		switch id {
-		case ObLemma1:
-			r = CheckLemma1(f, u)
-		case ObStealSoundness:
-			r = CheckStealSoundness(f, u)
-		case ObPotentialDecrease:
-			r = CheckPotentialDecrease(f, u)
-		case ObFailureImpliesSucc:
-			r = CheckFailureImpliesSuccess(f, u)
-		case ObWorkConservSeq:
-			r = CheckWorkConservationSequential(f, u, cfg.MaxRounds)
-		case ObWorkConservConc:
-			r = CheckWorkConservationConcurrent(f, u)
-		case ObChoiceIndependence:
-			r = CheckChoiceIndependence(f, u)
-		case ObReactivity:
-			r = CheckReactivity(f, u)
-		default:
-			panic(fmt.Sprintf("verify: unknown obligation %q", id))
+	rep.Results = make([]Result, len(obligations))
+	if cfg.Sequential {
+		for i, id := range obligations {
+			rep.Results[i] = checkObligation(ctx, id, f, u, cfg.MaxRounds)
 		}
-		rep.Results = append(rep.Results, r)
+		return rep, rep.abortErr(ctx)
 	}
-	return rep
+	var wg sync.WaitGroup
+	for i, id := range obligations {
+		wg.Add(1)
+		go func(i int, id ObligationID) {
+			defer wg.Done()
+			rep.Results[i] = checkObligation(ctx, id, f, u, cfg.MaxRounds)
+		}(i, id)
+	}
+	wg.Wait()
+	return rep, rep.abortErr(ctx)
+}
+
+// abortErr returns ctx's error iff cancellation actually cut an
+// obligation short; a suite that completed just before cancellation is
+// a full result and reports no error.
+func (r *Report) abortErr(ctx context.Context) error {
+	if len(r.Aborted()) == 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// KnownObligation reports whether id names a checkable obligation.
+func KnownObligation(id ObligationID) bool {
+	for _, known := range AllObligations() {
+		if id == known {
+			return true
+		}
+	}
+	return false
+}
+
+// checkObligation dispatches one obligation to its checker. The
+// checkers mark genuinely cut-short results Aborted themselves; a
+// refutation found in the final instant before cancellation remains a
+// conclusive FAIL with its witness.
+func checkObligation(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int) Result {
+	switch id {
+	case ObLemma1:
+		return CheckLemma1(ctx, f, u)
+	case ObStealSoundness:
+		return CheckStealSoundness(ctx, f, u)
+	case ObPotentialDecrease:
+		return CheckPotentialDecrease(ctx, f, u)
+	case ObFailureImpliesSucc:
+		return CheckFailureImpliesSuccess(ctx, f, u)
+	case ObWorkConservSeq:
+		return CheckWorkConservationSequential(ctx, f, u, maxRounds)
+	case ObWorkConservConc:
+		return CheckWorkConservationConcurrent(ctx, f, u)
+	case ObChoiceIndependence:
+		return CheckChoiceIndependence(ctx, f, u)
+	case ObReactivity:
+		return CheckReactivity(ctx, f, u)
+	default:
+		panic(fmt.Sprintf("verify: unknown obligation %q", id))
+	}
+}
+
+// aborted reports whether ctx is done and, if so, marks res as aborted:
+// not passed, with the cancellation as the witness. Checks poll it
+// every 64 enumerated states (ctx.Err takes a mutex, and the parallel
+// obligations would otherwise contend on it in their hottest loop), so
+// cancellation latency is a few dozen states.
+func aborted(ctx context.Context, res *Result) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	res.Passed = false
+	res.Aborted = true
+	res.Witness = "aborted: " + ctx.Err().Error()
+	return true
 }

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func smallUniverse() statespace.Universe {
 }
 
 func TestLemma1Delta2(t *testing.T) {
-	r := CheckLemma1(delta2Factory, smallUniverse())
+	r := CheckLemma1(context.Background(), delta2Factory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("Lemma 1 failed for Delta2: %s", r.Witness)
 	}
@@ -31,7 +32,7 @@ func TestLemma1Delta2(t *testing.T) {
 func TestLemma1Weighted(t *testing.T) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
 		Weights: []int64{1, 3}, IncludeUnscheduled: true}
-	r := CheckLemma1(weightedFactory, u)
+	r := CheckLemma1(context.Background(), weightedFactory, u)
 	if !r.Passed {
 		t.Fatalf("Lemma 1 failed for Weighted: %s", r.Witness)
 	}
@@ -40,7 +41,7 @@ func TestLemma1Weighted(t *testing.T) {
 func TestLemma1GreedyHoldsSequentially(t *testing.T) {
 	// The §4.3 point: the buggy greedy filter is fine by the sequential
 	// lemma — only concurrency breaks it.
-	r := CheckLemma1(greedyFactory, smallUniverse())
+	r := CheckLemma1(context.Background(), greedyFactory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("Lemma 1 should hold for GreedyBuggy: %s", r.Witness)
 	}
@@ -56,7 +57,7 @@ func TestLemma1CatchesBadFilter(t *testing.T) {
 			FilterFn:   func(_, s *sched.Core) bool { return s.NThreads() >= 1 },
 		}
 	}
-	r := CheckLemma1(f, smallUniverse())
+	r := CheckLemma1(context.Background(), f, smallUniverse())
 	if r.Passed {
 		t.Fatal("steal-anything filter passed Lemma 1")
 	}
@@ -67,7 +68,7 @@ func TestLemma1CatchesBadFilter(t *testing.T) {
 
 func TestLemma1CatchesTimidFilter(t *testing.T) {
 	// A filter that never steals fails the exists direction.
-	r := CheckLemma1(func() sched.Policy { return policy.NewNull() }, smallUniverse())
+	r := CheckLemma1(context.Background(), func() sched.Policy { return policy.NewNull() }, smallUniverse())
 	if r.Passed {
 		t.Fatal("null policy passed Lemma 1")
 	}
@@ -77,7 +78,7 @@ func TestLemma1CatchesTimidFilter(t *testing.T) {
 }
 
 func TestStealSoundnessDelta2(t *testing.T) {
-	r := CheckStealSoundness(delta2Factory, smallUniverse())
+	r := CheckStealSoundness(context.Background(), delta2Factory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("steal soundness failed for Delta2: %s", r.Witness)
 	}
@@ -85,7 +86,7 @@ func TestStealSoundnessDelta2(t *testing.T) {
 
 func TestStealSoundnessWeighted(t *testing.T) {
 	u := statespace.Universe{Cores: 2, MaxPerCore: 3, Weights: []int64{1, 2, 5}, IncludeUnscheduled: true}
-	r := CheckStealSoundness(weightedFactory, u)
+	r := CheckStealSoundness(context.Background(), weightedFactory, u)
 	if !r.Passed {
 		t.Fatalf("steal soundness failed for Weighted: %s", r.Witness)
 	}
@@ -93,7 +94,7 @@ func TestStealSoundnessWeighted(t *testing.T) {
 
 func TestStealSoundnessCatchesDraining(t *testing.T) {
 	// Delta1Aggressive can steal a core's only (queued) thread.
-	r := CheckStealSoundness(func() sched.Policy { return policy.NewDelta1Aggressive() },
+	r := CheckStealSoundness(context.Background(), func() sched.Policy { return policy.NewDelta1Aggressive() },
 		statespace.Universe{Cores: 2, MaxPerCore: 2, IncludeUnscheduled: true})
 	if r.Passed {
 		t.Fatal("Delta1Aggressive passed steal soundness")
@@ -104,7 +105,7 @@ func TestStealSoundnessCatchesDraining(t *testing.T) {
 }
 
 func TestPotentialDecreaseDelta2(t *testing.T) {
-	r := CheckPotentialDecrease(delta2Factory, smallUniverse())
+	r := CheckPotentialDecrease(context.Background(), delta2Factory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("potential decrease failed for Delta2: %s", r.Witness)
 	}
@@ -113,14 +114,14 @@ func TestPotentialDecreaseDelta2(t *testing.T) {
 func TestPotentialDecreaseWeighted(t *testing.T) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
 		Weights: []int64{1, 4}, IncludeUnscheduled: true}
-	r := CheckPotentialDecrease(weightedFactory, u)
+	r := CheckPotentialDecrease(context.Background(), weightedFactory, u)
 	if !r.Passed {
 		t.Fatalf("potential decrease failed for Weighted: %s", r.Witness)
 	}
 }
 
 func TestPotentialDecreaseFailsForGreedy(t *testing.T) {
-	r := CheckPotentialDecrease(greedyFactory, smallUniverse())
+	r := CheckPotentialDecrease(context.Background(), greedyFactory, smallUniverse())
 	if r.Passed {
 		t.Fatal("GreedyBuggy passed the potential-decrease obligation")
 	}
@@ -130,7 +131,7 @@ func TestPotentialDecreaseFailsForGreedy(t *testing.T) {
 }
 
 func TestFailureImpliesSuccessDelta2(t *testing.T) {
-	r := CheckFailureImpliesSuccess(delta2Factory, smallUniverse())
+	r := CheckFailureImpliesSuccess(context.Background(), delta2Factory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("failure-implies-success failed for Delta2: %s", r.Witness)
 	}
@@ -143,14 +144,14 @@ func TestFailureImpliesSuccessGreedy(t *testing.T) {
 	// Even the buggy policy satisfies this obligation: its failures are
 	// always caused by successes — the problem is that successes are
 	// unbounded, which is the *other* obligation.
-	r := CheckFailureImpliesSuccess(greedyFactory, smallUniverse())
+	r := CheckFailureImpliesSuccess(context.Background(), greedyFactory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("failure-implies-success failed for GreedyBuggy: %s", r.Witness)
 	}
 }
 
 func TestWorkConservationSequentialDelta2(t *testing.T) {
-	r := CheckWorkConservationSequential(delta2Factory, smallUniverse(), 0)
+	r := CheckWorkConservationSequential(context.Background(), delta2Factory, smallUniverse(), 0)
 	if !r.Passed {
 		t.Fatalf("sequential WC failed for Delta2: %s", r.Witness)
 	}
@@ -161,14 +162,14 @@ func TestWorkConservationSequentialDelta2(t *testing.T) {
 
 func TestWorkConservationSequentialGreedy(t *testing.T) {
 	// §4.2 vs §4.3: greedy is work-conserving without concurrency.
-	r := CheckWorkConservationSequential(greedyFactory, smallUniverse(), 0)
+	r := CheckWorkConservationSequential(context.Background(), greedyFactory, smallUniverse(), 0)
 	if !r.Passed {
 		t.Fatalf("sequential WC failed for GreedyBuggy: %s", r.Witness)
 	}
 }
 
 func TestWorkConservationSequentialNullFails(t *testing.T) {
-	r := CheckWorkConservationSequential(func() sched.Policy { return policy.NewNull() },
+	r := CheckWorkConservationSequential(context.Background(), func() sched.Policy { return policy.NewNull() },
 		smallUniverse(), 0)
 	if r.Passed {
 		t.Fatal("null policy passed sequential WC")
@@ -179,7 +180,7 @@ func TestWorkConservationSequentialNullFails(t *testing.T) {
 }
 
 func TestWorkConservationConcurrentDelta2(t *testing.T) {
-	r := CheckWorkConservationConcurrent(delta2Factory, smallUniverse())
+	r := CheckWorkConservationConcurrent(context.Background(), delta2Factory, smallUniverse())
 	if !r.Passed {
 		t.Fatalf("concurrent WC failed for Delta2: %s", r.Witness)
 	}
@@ -192,7 +193,7 @@ func TestWorkConservationConcurrentGreedyLivelock(t *testing.T) {
 	// The headline result: the explorer must automatically find the
 	// §4.3 ping-pong livelock for the greedy filter.
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
-	r := CheckWorkConservationConcurrent(greedyFactory, u)
+	r := CheckWorkConservationConcurrent(context.Background(), greedyFactory, u)
 	if r.Passed {
 		t.Fatal("GreedyBuggy passed concurrent WC — livelock not found")
 	}
@@ -205,7 +206,7 @@ func TestWorkConservationConcurrentGreedyLivelock(t *testing.T) {
 func TestWorkConservationConcurrentHierarchical(t *testing.T) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4,
 		IncludeUnscheduled: true, Groups: []int{0, 0, 1}}
-	r := CheckWorkConservationConcurrent(func() sched.Policy { return policy.NewHierarchical() }, u)
+	r := CheckWorkConservationConcurrent(context.Background(), func() sched.Policy { return policy.NewHierarchical() }, u)
 	if !r.Passed {
 		t.Fatalf("concurrent WC failed for Hierarchical: %s", r.Witness)
 	}
@@ -216,7 +217,7 @@ func TestCFSGroupBuggyFailsLemma1(t *testing.T) {
 	// groups and a heavy thread, an idle thief has no candidate.
 	u := statespace.Universe{Cores: 4, MaxPerCore: 2, MaxTotal: 5,
 		Weights: []int64{1, 8}, Groups: []int{0, 0, 1, 1}}
-	r := CheckLemma1(func() sched.Policy { return policy.NewCFSGroupBuggy() }, u)
+	r := CheckLemma1(context.Background(), func() sched.Policy { return policy.NewCFSGroupBuggy() }, u)
 	if r.Passed {
 		t.Fatal("CFSGroupBuggy passed Lemma 1")
 	}
@@ -229,7 +230,7 @@ func TestCFSGroupBuggyFailsLemma1(t *testing.T) {
 func TestHierarchicalPassesLemma1WithGroups(t *testing.T) {
 	u := statespace.Universe{Cores: 4, MaxPerCore: 2, MaxTotal: 4,
 		Groups: []int{0, 0, 1, 1}, IncludeUnscheduled: true}
-	r := CheckLemma1(func() sched.Policy { return policy.NewHierarchical() }, u)
+	r := CheckLemma1(context.Background(), func() sched.Policy { return policy.NewHierarchical() }, u)
 	if !r.Passed {
 		t.Fatalf("Lemma 1 failed for Hierarchical: %s", r.Witness)
 	}
@@ -303,13 +304,13 @@ func TestChoiceIndependenceDelta2(t *testing.T) {
 	// conservation when the filter is sound. The adversary picks both
 	// the victims and the steal order.
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
-	r := CheckChoiceIndependence(delta2Factory, u)
+	r := CheckChoiceIndependence(context.Background(), delta2Factory, u)
 	if !r.Passed {
 		t.Fatalf("choice independence failed for Delta2: %s", r.Witness)
 	}
 	// The choice adversary explores strictly more schedules than the
 	// order-only adversary.
-	r2 := CheckWorkConservationConcurrent(delta2Factory, u)
+	r2 := CheckWorkConservationConcurrent(context.Background(), delta2Factory, u)
 	if r.SchedulesChecked <= r2.SchedulesChecked {
 		t.Errorf("choice adversary explored %d schedules, order adversary %d",
 			r.SchedulesChecked, r2.SchedulesChecked)
@@ -318,7 +319,7 @@ func TestChoiceIndependenceDelta2(t *testing.T) {
 
 func TestChoiceIndependenceGreedyFails(t *testing.T) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
-	r := CheckChoiceIndependence(greedyFactory, u)
+	r := CheckChoiceIndependence(context.Background(), greedyFactory, u)
 	if r.Passed {
 		t.Fatal("greedy passed choice independence")
 	}
@@ -330,7 +331,7 @@ func TestChoiceIndependenceGreedyFails(t *testing.T) {
 func TestChoiceIndependenceHierarchical(t *testing.T) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
 		IncludeUnscheduled: true, Groups: []int{0, 0, 1}}
-	r := CheckChoiceIndependence(func() sched.Policy { return policy.NewHierarchical() }, u)
+	r := CheckChoiceIndependence(context.Background(), func() sched.Policy { return policy.NewHierarchical() }, u)
 	if !r.Passed {
 		t.Fatalf("choice independence failed for Hierarchical: %s", r.Witness)
 	}
@@ -341,7 +342,7 @@ func TestReactivityDelta2(t *testing.T) {
 	// before an idle core gets work. For Delta2 the bound exists and is
 	// small over the bounded universe.
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 4, IncludeUnscheduled: true}
-	r := CheckReactivity(delta2Factory, u)
+	r := CheckReactivity(context.Background(), delta2Factory, u)
 	if !r.Passed {
 		t.Fatalf("reactivity failed for Delta2: %s", r.Witness)
 	}
@@ -353,7 +354,7 @@ func TestReactivityDelta2(t *testing.T) {
 
 func TestReactivityGreedyStarves(t *testing.T) {
 	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 3}
-	r := CheckReactivity(greedyFactory, u)
+	r := CheckReactivity(context.Background(), greedyFactory, u)
 	if r.Passed {
 		t.Fatal("greedy passed reactivity despite the starvation cycle")
 	}
@@ -363,7 +364,7 @@ func TestReactivityGreedyStarves(t *testing.T) {
 }
 
 func TestReactivityNullFails(t *testing.T) {
-	r := CheckReactivity(func() sched.Policy { return policy.NewNull() },
+	r := CheckReactivity(context.Background(), func() sched.Policy { return policy.NewNull() },
 		statespace.Universe{Cores: 2, MaxPerCore: 2})
 	if r.Passed {
 		t.Fatal("null policy passed reactivity")
@@ -371,7 +372,7 @@ func TestReactivityNullFails(t *testing.T) {
 }
 
 func TestRevalidationAblation(t *testing.T) {
-	res := CheckRevalidationAblation(delta2Factory,
+	res := CheckRevalidationAblation(context.Background(), delta2Factory,
 		statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true})
 	if res.SoundnessViolations == 0 {
 		t.Error("removing re-validation produced no soundness violations — ablation shows nothing")

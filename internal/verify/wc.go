@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,12 +16,15 @@ import (
 // non-conserved state is a livelock and a moveless non-conserved round is
 // a stuck violation. The result's Bound is the worst-case N observed —
 // the existential witness of the paper's definition.
-func CheckWorkConservationSequential(f Factory, u statespace.Universe, maxRounds int) Result {
+func CheckWorkConservationSequential(ctx context.Context, f Factory, u statespace.Universe, maxRounds int) Result {
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
 	res := Result{ID: ObWorkConservSeq, Passed: true}
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		start := m.Loads()
 		seen := make(statespace.Visited)
@@ -117,6 +121,7 @@ func choiceSuccessors(f Factory, m *sched.Machine, visit func(*sched.Machine, st
 // change nothing). Otherwise every path reaches conservation and the
 // longest path is the worst-case N.
 type concExplorer struct {
+	ctx       context.Context
 	f         Factory
 	succ      successorFunc
 	done      func(*sched.Machine) bool // terminal predicate; nil = WorkConserved
@@ -124,12 +129,14 @@ type concExplorer struct {
 	onPath    map[string]bool
 	trace     []traceStep
 	violation string
+	aborted   bool // violation is a cancellation, not a refutation
+	polls     int  // amortizes the ctx check to every 256 explored nodes
 	states    int
 	schedules int
 }
 
-func newExplorer(f Factory, succ successorFunc) *concExplorer {
-	return &concExplorer{f: f, succ: succ, memo: make(map[string]int), onPath: make(map[string]bool)}
+func newExplorer(ctx context.Context, f Factory, succ successorFunc) *concExplorer {
+	return &concExplorer{ctx: ctx, f: f, succ: succ, memo: make(map[string]int), onPath: make(map[string]bool)}
 }
 
 type traceStep struct {
@@ -150,6 +157,12 @@ func (e *concExplorer) isDone(m *sched.Machine) bool {
 // explore returns the worst-case rounds-to-conservation from m, or false
 // if the adversary can prevent conservation (violation is filled in).
 func (e *concExplorer) explore(m *sched.Machine) (int, bool) {
+	e.polls++
+	if e.polls&255 == 0 && e.ctx.Err() != nil {
+		e.violation = "aborted: " + e.ctx.Err().Error()
+		e.aborted = true
+		return 0, false
+	}
 	key := m.Key()
 	if n, ok := e.memo[key]; ok {
 		return n, true
@@ -208,14 +221,18 @@ func (e *concExplorer) describeCycle(repeat *sched.Machine) string {
 
 // checkGame runs the game-graph exploration over a universe and fills a
 // Result.
-func checkGame(id ObligationID, f Factory, u statespace.Universe, succ successorFunc) Result {
+func checkGame(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, succ successorFunc) Result {
 	res := Result{ID: id, Passed: true}
-	e := newExplorer(f, succ)
+	e := newExplorer(ctx, f, succ)
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		n, ok := e.explore(m)
 		if !ok {
 			res.Passed = false
+			res.Aborted = e.aborted
 			res.Witness = fmt.Sprintf("from %v: %s", m.Loads(), e.violation)
 			return false
 		}
@@ -235,8 +252,8 @@ func checkGame(id ObligationID, f Factory, u statespace.Universe, succ successor
 // fails: on the 0/1/2 machine the adversary ping-pongs the spare thread
 // between the two non-idle cores forever, and the explorer returns that
 // cycle as the witness.
-func CheckWorkConservationConcurrent(f Factory, u statespace.Universe) Result {
-	return checkGame(ObWorkConservConc, f, u, orderSuccessors)
+func CheckWorkConservationConcurrent(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return checkGame(ctx, ObWorkConservConc, f, u, orderSuccessors)
 }
 
 // CheckReactivity checks the third performance property the paper's
@@ -247,15 +264,18 @@ func CheckWorkConservationConcurrent(f Factory, u statespace.Universe) Result {
 // cores to take from) within a bounded number of rounds. The result's
 // Bound is that worst-case delay in rounds — the paper's missing
 // latency limit, made concrete over the bounded universe.
-func CheckReactivity(f Factory, u statespace.Universe) Result {
+func CheckReactivity(ctx context.Context, f Factory, u statespace.Universe) Result {
 	res := Result{ID: ObReactivity, Passed: true}
 	u.Enumerate(func(m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
 		res.StatesChecked++
 		for _, target := range m.IdleCores() {
 			target := target
 			// A fresh explorer per target: the terminal predicate (and
 			// thus the memo) depends on the target core.
-			e := newExplorer(f, orderSuccessors)
+			e := newExplorer(ctx, f, orderSuccessors)
 			e.done = func(s *sched.Machine) bool {
 				return !s.Core(target).Idle() || len(s.OverloadedCores()) == 0
 			}
@@ -263,6 +283,7 @@ func CheckReactivity(f Factory, u statespace.Universe) Result {
 			res.SchedulesChecked += e.schedules
 			if !ok {
 				res.Passed = false
+				res.Aborted = e.aborted
 				res.Witness = fmt.Sprintf("core %d can starve from %v: %s", target, m.Loads(), e.violation)
 				return false
 			}
@@ -282,6 +303,6 @@ func CheckReactivity(f Factory, u statespace.Universe) Result {
 // work conservation survives every combination. A policy whose proofs
 // secretly rely on its Choose heuristic fails here even if it passes
 // CheckWorkConservationConcurrent.
-func CheckChoiceIndependence(f Factory, u statespace.Universe) Result {
-	return checkGame(ObChoiceIndependence, f, u, choiceSuccessors)
+func CheckChoiceIndependence(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return checkGame(ctx, ObChoiceIndependence, f, u, choiceSuccessors)
 }

@@ -168,7 +168,8 @@ func (t *BarrierTrap) Setup(s *sim.Simulator) { t.combined.Setup(s) }
 
 // Bursty generates square-wave load: bursts of tasks arriving on one
 // core, separated by quiet gaps — the pattern that exposes slow
-// rebalancing (convergence N) as latency spikes.
+// rebalancing (convergence N) as latency spikes. For the
+// backend-portable equivalent, see the root package's BurstyScenario.
 type Bursty struct {
 	// Bursts is the number of bursts.
 	Bursts int

@@ -134,6 +134,8 @@ func (w *Database) requestBehavior(rng *sim.RNG) sim.Behavior {
 // ForkJoin spawns Waves batches of Width tasks; each wave forks on one
 // core, runs in parallel (if the balancer spreads it) and the next wave
 // starts after a fixed Gap. It models `make -j`-style build bursts.
+// For the backend-portable equivalent, see the root package's
+// ForkJoinScenario.
 type ForkJoin struct {
 	// Waves is the number of batches.
 	Waves int

@@ -7,16 +7,27 @@
 // the wasted-cores motivation, and a real work-stealing executor running
 // the verified protocol.
 //
-// This top-level package is the curated public surface: it re-exports
-// the library's main entry points so downstream users can write
+// This top-level package is the curated public surface. The session API
+// is the Cluster facade: configure one (policy, topology, backend)
+// triple with functional options, then run any scenario on any
+// execution substrate and verify the policy's proof obligations —
 //
-//	m := optsched.MachineFromLoads(0, 1, 2)
-//	p := optsched.NewDelta2()
-//	report := optsched.Verify("delta2", func() optsched.Policy { return optsched.NewDelta2() })
+//	c, err := optsched.New(
+//	    optsched.WithPolicy("delta2"),
+//	    optsched.WithTopology(optsched.NUMATopology(2, 4)),
+//	    optsched.WithBackend(optsched.BackendSim),
+//	)
+//	res, err := c.Run(ctx, optsched.SkewedScenario("burst", 400, 1500))
+//	rep, err := c.Verify(ctx)
 //
-// without importing the internal packages individually. The full
-// surface (simulator, workloads, DSL, executor) lives in the internal
-// packages, documented in README.md.
+// The same Cluster.Run call executes the scenario on the bare model
+// (BackendModel), the discrete-event simulator (BackendSim) or the real
+// work-stealing executor (BackendExecutor), returning one common Result
+// type — the paper's "prove once, run anywhere" claim as an API.
+//
+// The model-level types and round primitives below remain exported for
+// direct use; the full surface (simulator behaviors, workloads, DSL,
+// executor) lives in the internal packages, documented in README.md.
 package optsched
 
 import (
@@ -26,6 +37,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/statespace"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -105,8 +117,29 @@ var (
 	NewNUMAAware = policy.NewNUMAAware
 	// NewPolicy looks up a built-in policy by name.
 	NewPolicy = policy.New
+	// NewPolicyWithTopology looks up a built-in policy by name, building
+	// topology-needing policies (numa-aware) over the given topology.
+	NewPolicyWithTopology = policy.NewWithTopology
 	// PolicyNames lists the built-in policies.
 	PolicyNames = policy.Names
+	// PolicySpecs lists the built-in policies with their registry
+	// metadata (provenance, topology needs, one-line docs), sorted.
+	PolicySpecs = policy.Specs
+	// LookupPolicy returns the registry metadata for one policy name.
+	LookupPolicy = policy.Lookup
+	// RegisterPolicy adds a policy spec to the global registry, making it
+	// available to WithPolicy and the command-line tools.
+	RegisterPolicy = policy.Register
+)
+
+// Policy-registry metadata types (see internal/policy).
+type (
+	// PolicySpec is one registry entry: constructor plus metadata.
+	PolicySpec = policy.Spec
+	// PolicyFactory constructs a fresh policy instance per call.
+	PolicyFactory = policy.Factory
+	// Provenance classifies a registered policy's verification status.
+	Provenance = policy.Provenance
 )
 
 // Topologies.
@@ -115,16 +148,26 @@ var (
 	FlatTopology = topology.Flat
 	// NUMATopology builds nodes × perNode cores.
 	NUMATopology = topology.NUMA
+	// AssignGroups stamps a machine's cores with the topology's node
+	// assignment (Group and Node per core).
+	AssignGroups = policy.AssignGroups
 )
 
 // Verification entry points.
 var (
 	// Verify checks a policy against every proof obligation over the
 	// default bounded universe.
+	//
+	// Deprecated: build a Cluster with WithPolicyFactory and call
+	// Cluster.Verify(ctx) — it is context-cancellable and runs the
+	// obligations in parallel.
 	Verify = func(name string, factory func() Policy) *Report {
 		return verify.Policy(name, factory, verify.Config{})
 	}
 	// VerifyWith checks with an explicit configuration.
+	//
+	// Deprecated: build a Cluster with WithUniverse/WithObligations and
+	// call Cluster.Verify(ctx).
 	VerifyWith = verify.Policy
 	// DefaultUniverse is the verifier's default bounded state space.
 	DefaultUniverse = verify.DefaultUniverse
@@ -153,3 +196,13 @@ type (
 
 // NewSimulator builds a simulator.
 var NewSimulator = sim.New
+
+// Tracing (see internal/trace).
+type (
+	// TraceRing is a fixed-capacity ring buffer of scheduler trace
+	// events, attachable to the simulator backend via WithTrace.
+	TraceRing = trace.Ring
+)
+
+// NewTraceRing builds a trace ring holding the last n events.
+var NewTraceRing = trace.NewRing
