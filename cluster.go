@@ -44,6 +44,7 @@ type Cluster struct {
 	idleBalance bool
 	horizon     int64
 	maxRounds   int
+	parallelism int
 	universe    statespace.Universe
 	hasUniverse bool
 	obligations []verify.ObligationID
@@ -79,7 +80,8 @@ func WithPolicy(name string) Option {
 // WithPolicyFactory installs a custom policy under the given name — the
 // escape hatch for policies written as plain Go outside the registry.
 // The factory must return a fresh instance per call and be safe for
-// concurrent calls (Verify runs obligations in parallel).
+// concurrent calls (Verify fans sharded obligation checks out over a
+// worker pool).
 func WithPolicyFactory(name string, factory func() Policy) Option {
 	return func(o *options) {
 		if name == "" || factory == nil {
@@ -186,6 +188,22 @@ func WithMaxRounds(n int) Option {
 			return
 		}
 		o.cluster.maxRounds = n
+	}
+}
+
+// WithParallelism bounds the worker pool Verify's sharded driver uses:
+// at most n shard checks run concurrently across all obligations
+// (default GOMAXPROCS). The level changes only wall-clock time —
+// verdicts, counters and witnesses are identical at every n, because
+// the universe's shard partition is fixed per machine and refutations
+// merge in deterministic enumeration order.
+func WithParallelism(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			o.fail(fmt.Errorf("optsched: WithParallelism(%d) (need n >= 1; omit the option for GOMAXPROCS)", n))
+			return
+		}
+		o.cluster.parallelism = n
 	}
 }
 
@@ -402,11 +420,14 @@ func (c *Cluster) layout(sc Scenario) (int, []int, error) {
 }
 
 // Verify discharges the paper's proof obligations for the cluster's
-// policy over the configured universe. The obligations run in parallel
-// (one goroutine each) and the whole suite aborts early when ctx is
-// cancelled, returning the partial report alongside ctx's error.
+// policy over the configured universe. Each obligation's state space is
+// split into disjoint shards that drain through one worker pool (size
+// WithParallelism, default GOMAXPROCS), and the whole suite aborts
+// early when ctx is cancelled, returning the partial report alongside
+// ctx's error. Reports are deterministic: the parallelism level never
+// changes verdicts, counters or witnesses.
 func (c *Cluster) Verify(ctx context.Context) (*Report, error) {
-	cfg := verify.Config{MaxRounds: c.maxRounds, Obligations: c.obligations}
+	cfg := verify.Config{MaxRounds: c.maxRounds, Obligations: c.obligations, Parallelism: c.parallelism}
 	if c.hasUniverse {
 		cfg.Universe = c.universe
 	}

@@ -178,6 +178,32 @@ func TestClusterVerify(t *testing.T) {
 	}
 }
 
+// TestClusterVerifyParallelismDeterminism pins the WithParallelism
+// contract: a refuted policy's report — witnesses included — is
+// byte-identical at every worker-pool size.
+func TestClusterVerifyParallelismDeterminism(t *testing.T) {
+	reports := make([]string, 0, 3)
+	for _, par := range []int{1, 2, 5} {
+		c, err := New(WithPolicy("greedy-buggy"), WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Verify(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Passed() {
+			t.Fatal("greedy-buggy verification should fail")
+		}
+		reports = append(reports, rep.String())
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Errorf("report at parallelism level %d diverged:\n%s\nvs\n%s", i, reports[i], reports[0])
+		}
+	}
+}
+
 // TestClusterVerifyHonorsCancellation is the satellite requirement:
 // Verify(ctx) aborts when the context dies and says so.
 func TestClusterVerifyHonorsCancellation(t *testing.T) {
@@ -246,6 +272,9 @@ func TestClusterOptionValidation(t *testing.T) {
 		"nil factory":        {WithPolicyFactory("x", nil)},
 		"cores vs topology":  {WithTopology(NUMATopology(2, 4)), WithCores(16)},
 		"unknown obligation": {WithObligations("lemma1typo")},
+		"zero parallelism":   {WithParallelism(0)},
+		"neg parallelism":    {WithParallelism(-2)},
+		"zero-core universe": {WithUniverse(Universe{Groups: []int{0, 1}})},
 	}
 	for name, opts := range cases {
 		if _, err := New(opts...); err == nil {

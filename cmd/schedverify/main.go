@@ -7,7 +7,11 @@
 //
 //	schedverify [-policy name | -dsl file.pol] [-cores N] [-maxper N]
 //	            [-maxtotal N] [-groups 0,0,1,1] [-weights 1,3]
-//	            [-obligation id] [-quick]
+//	            [-obligation id] [-quick] [-parallel N]
+//
+// The obligations are sharded across a worker pool; -parallel bounds the
+// pool (default GOMAXPROCS). The report is identical at every level —
+// parallelism only changes how long the run takes.
 //
 // Examples:
 //
@@ -41,6 +45,7 @@ func main() {
 		weights    = flag.String("weights", "", "comma-separated task weights (e.g. 1,3)")
 		obligation = flag.String("obligation", "", "check only this obligation (e.g. lemma1)")
 		quick      = flag.Bool("quick", false, "smaller universe (cores=3, maxper=2, maxtotal=4)")
+		parallel   = flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -84,6 +89,9 @@ func main() {
 	}
 
 	opts := []optsched.Option{optsched.WithUniverse(u)}
+	if *parallel != 0 {
+		opts = append(opts, optsched.WithParallelism(*parallel))
+	}
 	if *obligation != "" {
 		opts = append(opts, optsched.WithObligations(optsched.ObligationID(*obligation)))
 	}

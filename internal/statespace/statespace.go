@@ -38,13 +38,13 @@ type Universe struct {
 // first problem found, or nil — the error-returning counterpart of the
 // panics Enumerate raises on malformed universes.
 func (u Universe) Validate() error {
-	if u.Cores < 0 {
+	if u.Cores <= 0 {
 		return fmt.Errorf("statespace: universe with %d cores", u.Cores)
 	}
 	if u.MaxPerCore < 0 || u.MaxTotal < 0 {
 		return fmt.Errorf("statespace: negative MaxPerCore/MaxTotal")
 	}
-	if u.Groups != nil && u.Cores > 0 && len(u.Groups) != u.Cores {
+	if u.Groups != nil && len(u.Groups) != u.Cores {
 		return fmt.Errorf("statespace: %d group assignments for %d cores", len(u.Groups), u.Cores)
 	}
 	for _, w := range u.Weights {
@@ -60,7 +60,7 @@ func (u Universe) Validate() error {
 // never disagree.
 func (u Universe) Size() int {
 	n := 0
-	u.enumerate(func(*sched.Machine) bool { n++; return true })
+	u.Enumerate(func(*sched.Machine) bool { n++; return true })
 	return n
 }
 
@@ -69,12 +69,37 @@ func (u Universe) Size() int {
 // early if fn returns false; Enumerate reports whether it ran to
 // completion.
 func (u Universe) Enumerate(fn func(*sched.Machine) bool) bool {
-	return u.enumerate(fn)
+	return u.enumerate(0, 1, func(_ int, m *sched.Machine) bool { return fn(m) })
 }
 
-func (u Universe) enumerate(fn func(*sched.Machine) bool) bool {
+// EnumerateShard calls fn for every machine in one shard of a total-way
+// partition of the universe. The partition splits the search at the
+// top-level per-core thread-count recursion: complete thread-count
+// vectors are dealt round-robin to shards in enumeration order, so the
+// shards are pairwise disjoint, their union is exactly Enumerate's
+// output, and concurrent shards need no coordination. EnumerateShard(0, 1, fn)
+// is Enumerate(fn). Like Enumerate, it stops early when fn returns false
+// and reports whether it ran to completion.
+func (u Universe) EnumerateShard(shard, total int, fn func(*sched.Machine) bool) bool {
+	return u.enumerate(shard, total, func(_ int, m *sched.Machine) bool { return fn(m) })
+}
+
+// EnumerateShardRank is EnumerateShard with provenance: fn also receives
+// the rank — the zero-based index of the machine's thread-count vector in
+// the full Enumerate order. Ranks are disjoint across the shards of one
+// partition (shard s owns exactly the ranks ≡ s mod total), so a caller
+// fanning shards out in parallel can merge per-shard findings back into
+// the deterministic sequential order by comparing ranks.
+func (u Universe) EnumerateShardRank(shard, total int, fn func(rank int, m *sched.Machine) bool) bool {
+	return u.enumerate(shard, total, fn)
+}
+
+func (u Universe) enumerate(shard, total int, fn func(int, *sched.Machine) bool) bool {
 	if u.Cores <= 0 {
 		panic(fmt.Sprintf("statespace: universe with %d cores", u.Cores))
+	}
+	if total <= 0 || shard < 0 || shard >= total {
+		panic(fmt.Sprintf("statespace: shard %d of %d", shard, total))
 	}
 	maxTotal := u.MaxTotal
 	if maxTotal == 0 {
@@ -87,16 +112,26 @@ func (u Universe) enumerate(fn func(*sched.Machine) bool) bool {
 		weights = []int64{sched.DefaultWeight}
 	}
 	// Enumerate per-core thread counts, then (optionally) the scheduled
-	// bit, then weight assignments.
+	// bit, then weight assignments. Only the count vectors owned by the
+	// shard are expanded; walking the skipped vectors costs a few integer
+	// ops each, negligible next to the expansion they gate.
 	counts := make([]int, u.Cores)
-	var rec func(core, total int) bool
-	rec = func(core, total int) bool {
+	rank := 0
+	var rec func(core, used int) bool
+	rec = func(core, used int) bool {
 		if core == u.Cores {
-			return u.enumerateSchedBits(counts, weights, fn)
+			r := rank
+			rank++
+			if r%total != shard {
+				return true
+			}
+			return u.enumerateSchedBits(counts, weights, func(m *sched.Machine) bool {
+				return fn(r, m)
+			})
 		}
-		for n := 0; n <= u.MaxPerCore && total+n <= maxTotal; n++ {
+		for n := 0; n <= u.MaxPerCore && used+n <= maxTotal; n++ {
 			counts[core] = n
-			if !rec(core+1, total+n) {
+			if !rec(core+1, used+n) {
 				return false
 			}
 		}

@@ -166,6 +166,166 @@ func TestVisited(t *testing.T) {
 	}
 }
 
+// shardTestUniverses are the partition-property fixtures: plain,
+// unscheduled, weighted, and grouped universes all must shard cleanly.
+func shardTestUniverses() map[string]Universe {
+	return map[string]Universe{
+		"plain":       {Cores: 3, MaxPerCore: 2, MaxTotal: 4},
+		"unscheduled": {Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true},
+		"weighted":    {Cores: 2, MaxPerCore: 3, Weights: []int64{1, 3}, IncludeUnscheduled: true},
+		"grouped":     {Cores: 4, MaxPerCore: 2, MaxTotal: 5, Groups: []int{0, 0, 1, 1}, IncludeUnscheduled: true},
+	}
+}
+
+func TestEnumerateShardPartition(t *testing.T) {
+	// For every shard count, the union of the shards' outputs must be
+	// exactly Enumerate's output: same multiset of keys, no duplicates,
+	// nothing missing. This is the property that lets the verifier fan
+	// shards out with no locking.
+	for name, u := range shardTestUniverses() {
+		full := make(map[string]int)
+		order := []string{}
+		u.Enumerate(func(m *sched.Machine) bool {
+			full[m.Key()]++
+			order = append(order, m.Key())
+			return true
+		})
+		if len(order) == 0 {
+			t.Fatalf("%s: empty universe", name)
+		}
+		for total := 1; total <= 8; total++ {
+			union := make(map[string]int)
+			n := 0
+			for shard := 0; shard < total; shard++ {
+				complete := u.EnumerateShard(shard, total, func(m *sched.Machine) bool {
+					union[m.Key()]++
+					n++
+					return true
+				})
+				if !complete {
+					t.Errorf("%s total=%d shard=%d: reported early stop", name, total, shard)
+				}
+			}
+			if n != len(order) {
+				t.Errorf("%s total=%d: shards yielded %d states, Enumerate %d", name, total, n, len(order))
+			}
+			for k, c := range union {
+				if full[k] != c {
+					t.Errorf("%s total=%d: key %q appears %d times in shards, %d in Enumerate", name, total, k, c, full[k])
+				}
+			}
+			for k := range full {
+				if union[k] == 0 {
+					t.Errorf("%s total=%d: key %q missing from every shard", name, total, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateShardSingleIsEnumerate(t *testing.T) {
+	u := Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true}
+	var seq, shard []string
+	u.Enumerate(func(m *sched.Machine) bool { seq = append(seq, m.Key()); return true })
+	u.EnumerateShard(0, 1, func(m *sched.Machine) bool { shard = append(shard, m.Key()); return true })
+	if len(seq) != len(shard) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(shard))
+	}
+	for i := range seq {
+		if seq[i] != shard[i] {
+			t.Fatalf("order differs at %d: %q vs %q", i, seq[i], shard[i])
+		}
+	}
+}
+
+func TestEnumerateShardRank(t *testing.T) {
+	// Ranks identify the state's thread-count vector in global
+	// enumeration order: within a shard they are non-decreasing and
+	// congruent to the shard index mod total; across shards each rank
+	// belongs to exactly one shard.
+	u := Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true}
+	const total = 4
+	owner := make(map[int]int)
+	for shard := 0; shard < total; shard++ {
+		last := -1
+		u.EnumerateShardRank(shard, total, func(rank int, m *sched.Machine) bool {
+			if rank%total != shard {
+				t.Fatalf("shard %d saw rank %d", shard, rank)
+			}
+			if rank < last {
+				t.Fatalf("shard %d: rank went backwards (%d after %d)", shard, rank, last)
+			}
+			last = rank
+			if prev, ok := owner[rank]; ok && prev != shard {
+				t.Fatalf("rank %d owned by shards %d and %d", rank, prev, shard)
+			}
+			owner[rank] = shard
+			return true
+		})
+	}
+}
+
+func TestEnumerateShardEarlyStop(t *testing.T) {
+	u := Universe{Cores: 2, MaxPerCore: 2}
+	n := 0
+	complete := u.EnumerateShard(0, 2, func(*sched.Machine) bool {
+		n++
+		return false
+	})
+	if complete || n != 1 {
+		t.Errorf("complete=%v n=%d, want early stop after 1", complete, n)
+	}
+}
+
+func TestEnumerateShardBadArgsPanic(t *testing.T) {
+	u := Universe{Cores: 2, MaxPerCore: 1}
+	for name, call := range map[string]func(){
+		"total=0":      func() { u.EnumerateShard(0, 0, func(*sched.Machine) bool { return true }) },
+		"shard<0":      func() { u.EnumerateShard(-1, 2, func(*sched.Machine) bool { return true }) },
+		"shard==total": func() { u.EnumerateShard(2, 2, func(*sched.Machine) bool { return true }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestValidateRejectsZeroCores(t *testing.T) {
+	// Validate documents itself as the error-returning counterpart of
+	// Enumerate's panics — and Enumerate panics on Cores <= 0, so a
+	// zero-core universe (with or without Groups) must not validate.
+	for name, u := range map[string]Universe{
+		"zero cores":             {},
+		"zero cores with bounds": {MaxPerCore: 2, MaxTotal: 4},
+		"zero cores with groups": {Groups: []int{0, 1}},
+		"negative cores":         {Cores: -1},
+	} {
+		if err := u.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, u)
+		}
+	}
+}
+
+func TestValidateAcceptsAndRejects(t *testing.T) {
+	if err := (Universe{Cores: 3, MaxPerCore: 2, Groups: []int{0, 0, 1}, Weights: []int64{1, 2}}).Validate(); err != nil {
+		t.Errorf("valid universe rejected: %v", err)
+	}
+	for name, u := range map[string]Universe{
+		"group mismatch":  {Cores: 3, MaxPerCore: 2, Groups: []int{0, 1}},
+		"negative bounds": {Cores: 2, MaxPerCore: -1},
+		"bad weight":      {Cores: 2, MaxPerCore: 1, Weights: []int64{0}},
+	} {
+		if err := u.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, u)
+		}
+	}
+}
+
 func TestUniverseCoversDocumentedStates(t *testing.T) {
 	// The §4.3 counterexample machine [0 1 2] must be in the universe the
 	// verifier uses for 3-core checks.

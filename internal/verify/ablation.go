@@ -3,6 +3,7 @@ package verify
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/sched"
 	"repro/internal/statespace"
@@ -22,11 +23,16 @@ type AblationResult struct {
 	// unchecked steals increased the pairwise imbalance, destroying the
 	// bounded-successes argument.
 	PotentialViolations int
-	// FirstWitness describes the first violation found.
+	// FirstWitness describes the first violation found, in the
+	// deterministic whole-universe enumeration order.
 	FirstWitness string
 	// Aborted reports that the enumeration was cut short by context
 	// cancellation; the counts above cover only the states visited.
 	Aborted bool
+
+	// order is FirstWitness's global enumeration rank, used to merge
+	// per-shard witnesses deterministically (lowest rank wins).
+	order int
 }
 
 // CheckRevalidationAblation runs every state of the universe through
@@ -35,16 +41,50 @@ type AblationResult struct {
 // unsafe variant commits. A sound policy must show zero violations in the
 // safe half (that is asserted, not counted) and the unsafe half
 // demonstrates why the paper's model requires atomic, re-validated
-// steals.
+// steals. Like the obligation checks, the sweep is sharded across a
+// worker pool (GOMAXPROCS workers); f must be safe for concurrent calls.
 func CheckRevalidationAblation(ctx context.Context, f Factory, u statespace.Universe) AblationResult {
-	var res AblationResult
-	u.Enumerate(func(m *sched.Machine) bool {
+	total := shardTotal()
+	parts := make([]AblationResult, total)
+	forEachTask(total, runtime.GOMAXPROCS(0), func(s int) {
+		parts[s] = checkRevalidationAblationShard(ctx, f, u, shard{s, total})
+	})
+	merged := AblationResult{order: -1}
+	for _, p := range parts {
+		merged.StatesChecked += p.StatesChecked
+		merged.SchedulesChecked += p.SchedulesChecked
+		merged.SoundnessViolations += p.SoundnessViolations
+		merged.PotentialViolations += p.PotentialViolations
+		merged.Aborted = merged.Aborted || p.Aborted
+		if p.FirstWitness != "" && (merged.order < 0 || p.order < merged.order) {
+			merged.FirstWitness = p.FirstWitness
+			merged.order = p.order
+		}
+	}
+	return merged
+}
+
+func checkRevalidationAblationShard(ctx context.Context, f Factory, u statespace.Universe, sh shard) AblationResult {
+	res := AblationResult{order: -1}
+	witness := func(rank int, w string) {
+		if res.FirstWitness == "" {
+			res.FirstWitness = w
+			res.order = rank
+		}
+	}
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if ctx.Err() != nil {
 			res.Aborted = true
 			return false
 		}
 		res.StatesChecked++
 		statespace.Permutations(m.NumCores(), func(order []int) bool {
+			// Poll per schedule, not just per state: each state fans out
+			// to NumCores()! orders and each order runs two full rounds.
+			if res.SchedulesChecked&63 == 0 && ctx.Err() != nil {
+				res.Aborted = true
+				return false
+			}
 			res.SchedulesChecked++
 
 			safe := m.Clone()
@@ -56,9 +96,7 @@ func CheckRevalidationAblation(ctx context.Context, f Factory, u statespace.Univ
 			unsafe := m.Clone()
 			sched.UnsafeConcurrentRound(f(), unsafe, order)
 			if v := roundViolation(f(), m, unsafe); v != "" {
-				if res.FirstWitness == "" {
-					res.FirstWitness = fmt.Sprintf("state %v order %v: %s", m.Loads(), order, v)
-				}
+				witness(rank, fmt.Sprintf("state %v order %v: %s", m.Loads(), order, v))
 				res.SoundnessViolations++
 			}
 			p := f()
@@ -66,16 +104,14 @@ func CheckRevalidationAblation(ctx context.Context, f Factory, u statespace.Univ
 			before := sched.PairwiseImbalance(p, m)
 			after := sched.PairwiseImbalance(p, unsafe)
 			if after > before {
-				if res.FirstWitness == "" {
-					res.FirstWitness = fmt.Sprintf(
-						"state %v order %v: unchecked round raised potential %d -> %d",
-						m.Loads(), order, before, after)
-				}
+				witness(rank, fmt.Sprintf(
+					"state %v order %v: unchecked round raised potential %d -> %d",
+					m.Loads(), order, before, after))
 				res.PotentialViolations++
 			}
 			return true
 		})
-		return true
+		return !res.Aborted
 	})
 	return res
 }

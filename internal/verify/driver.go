@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+// This file is the sharded verification driver. Every obligation's
+// quantifier ("for all machines in the universe") is split into
+// shardTotal() disjoint slices via statespace.Universe.EnumerateShard;
+// the slices run on a worker pool and their per-shard Results merge
+// back into one deterministic Result.
+//
+// Two properties make the parallel reports byte-identical run to run
+// and across parallelism levels:
+//
+//   - The shard count depends only on the machine (GOMAXPROCS, floored
+//     at minShards), never on the configured worker count, so every
+//     -parallel level checks exactly the same slices.
+//   - A refuted shard records the global enumeration rank of its
+//     witness, and the merge keeps the lowest-ranked one — the same
+//     witness a sequential scan of the whole universe would have found
+//     first. Shards never cancel each other: each runs to its own first
+//     witness or to exhaustion, so the merged counters are equal at
+//     every parallelism level (including Sequential) at the price of a
+//     fuller sweep on refuted policies.
+
+// minShards keeps the partition real on small machines: even at
+// GOMAXPROCS=1 the driver exercises genuine multi-shard merges, and a
+// later -parallel 8 run on bigger hardware still has slices to spread.
+const minShards = 8
+
+// shardTotal is the per-obligation shard count: GOMAXPROCS, floored at
+// minShards. It is deliberately independent of Config.Parallelism (see
+// the file comment).
+func shardTotal() int {
+	if n := runtime.GOMAXPROCS(0); n > minShards {
+		return n
+	}
+	return minShards
+}
+
+// shard identifies one slice of the universe partition.
+type shard struct {
+	index, total int
+}
+
+// enumerate walks the shard's slice of u, handing fn each machine with
+// its global enumeration rank.
+func (s shard) enumerate(u statespace.Universe, fn func(rank int, m *sched.Machine) bool) bool {
+	return u.EnumerateShardRank(s.index, s.total, fn)
+}
+
+// refute records a refutation found at the given global enumeration
+// rank. The merge keeps the witness with the lowest rank, i.e. the
+// first one in Enumerate order.
+func (r *Result) refute(rank int, witness string) {
+	r.Passed = false
+	r.Witness = witness
+	r.order = rank
+}
+
+// shardCheck dispatches one (obligation, shard) task to its checker.
+func shardCheck(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
+	switch id {
+	case ObLemma1:
+		return checkLemma1Shard(ctx, f, u, sh)
+	case ObStealSoundness:
+		return checkStealSoundnessShard(ctx, f, u, sh)
+	case ObPotentialDecrease:
+		return checkPotentialDecreaseShard(ctx, f, u, sh)
+	case ObFailureImpliesSucc:
+		return checkFailureImpliesSuccessShard(ctx, f, u, sh)
+	case ObWorkConservSeq:
+		return checkWorkConservationSequentialShard(ctx, f, u, maxRounds, sh)
+	case ObWorkConservConc:
+		return checkGameShard(ctx, ObWorkConservConc, f, u, orderSuccessors, sh)
+	case ObChoiceIndependence:
+		return checkGameShard(ctx, ObChoiceIndependence, f, u, choiceSuccessors, sh)
+	case ObReactivity:
+		return checkReactivityShard(ctx, f, u, sh)
+	default:
+		panic(fmt.Sprintf("verify: unknown obligation %q", id))
+	}
+}
+
+// mergeResults folds per-shard results into the obligation's Result:
+// counters sum, bounds max, and the verdict follows the report's
+// precedence — a conclusive refutation (lowest witness rank wins)
+// outranks cancellation, which outranks a pass.
+func mergeResults(id ObligationID, parts []Result) Result {
+	merged := Result{ID: id, Passed: true}
+	refutedRank := -1
+	refutedWitness := ""
+	abortWitness := ""
+	for _, p := range parts {
+		merged.StatesChecked += p.StatesChecked
+		merged.SchedulesChecked += p.SchedulesChecked
+		if p.Bound > merged.Bound {
+			merged.Bound = p.Bound
+		}
+		switch {
+		case p.Aborted:
+			if abortWitness == "" {
+				abortWitness = p.Witness
+			}
+		case !p.Passed:
+			if refutedRank < 0 || p.order < refutedRank {
+				refutedRank = p.order
+				refutedWitness = p.Witness
+			}
+		}
+	}
+	switch {
+	case refutedRank >= 0:
+		merged.Passed = false
+		merged.Witness = refutedWitness
+		merged.order = refutedRank
+	case abortWitness != "":
+		merged.Passed = false
+		merged.Aborted = true
+		merged.Witness = abortWitness
+	}
+	return merged
+}
+
+// runObligation runs one obligation's full shard fan-out on a pool of
+// GOMAXPROCS workers and merges. The standalone Check* entry points
+// route through here — so they call the factory concurrently; see
+// Factory — while the suite driver (PolicyContext) instead shares one
+// pool across all selected obligations.
+func runObligation(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int) Result {
+	total := shardTotal()
+	parts := make([]Result, total)
+	forEachTask(total, runtime.GOMAXPROCS(0), func(s int) {
+		parts[s] = shardCheck(ctx, id, f, u, maxRounds, shard{s, total})
+	})
+	return mergeResults(id, parts)
+}
+
+// forEachTask runs fn(i) for i in [0, n) with at most `workers`
+// concurrent calls (a semaphore over eagerly spawned goroutines — the
+// one worker-pool implementation every parallel driver path shares).
+// Each index is handed to exactly one goroutine, so fn needs no locking
+// for per-index state. workers=1 serializes the calls (they still hop
+// goroutines, but the semaphore orders them happens-before).
+func forEachTask(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -9,7 +9,14 @@ import (
 )
 
 // Factory produces a fresh policy instance per check, isolating any
-// per-round caches (sched.RoundObserver state) between runs.
+// per-round caches (sched.RoundObserver state) between runs. Checks
+// fan out over universe shards on a worker pool — the standalone
+// Check* entry points included — so a factory must be safe for
+// concurrent calls; every registered and DSL-compiled factory is,
+// since each call constructs a fresh policy. A caller whose factory is
+// not concurrency-safe must go through Policy or PolicyContext with
+// Config.Sequential, which runs every shard on the calling goroutine
+// (and produces the identical report).
 type Factory func() sched.Policy
 
 // beginRound refreshes a policy's cached round statistics when it
@@ -29,8 +36,12 @@ func beginRound(p sched.Policy, view *sched.Machine) {
 // The paper proves this with Leon for the sequential setting; here it is
 // established by exhaustion up to the universe bound.
 func CheckLemma1(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return runObligation(ctx, ObLemma1, f, u, 0)
+}
+
+func checkLemma1Shard(ctx context.Context, f Factory, u statespace.Universe, sh shard) Result {
 	res := Result{ID: ObLemma1, Passed: true}
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
@@ -52,19 +63,17 @@ func CheckLemma1(ctx context.Context, f Factory, u statespace.Universe) Result {
 				if p.CanSteal(thief, c) {
 					hasCandidate = true
 					if !c.Overloaded() {
-						res.Passed = false
-						res.Witness = fmt.Sprintf(
+						res.refute(rank, fmt.Sprintf(
 							"state %v: idle thief c%d may steal from non-overloaded c%d",
-							m.Loads(), thief.ID, c.ID)
+							m.Loads(), thief.ID, c.ID))
 						return false
 					}
 				}
 			}
 			if hasOverloaded && !hasCandidate {
-				res.Passed = false
-				res.Witness = fmt.Sprintf(
+				res.refute(rank, fmt.Sprintf(
 					"state %v (key %s): idle thief c%d has no candidate despite an overloaded core",
-					m.Loads(), m.Key(), thief.ID)
+					m.Loads(), m.Key(), thief.ID))
 				return false
 			}
 		}
@@ -82,8 +91,12 @@ func CheckLemma1(ctx context.Context, f Factory, u statespace.Universe) Result {
 //   - the stealee does not end up idle ("does not steal too much");
 //   - the thread population and structural invariants are preserved.
 func CheckStealSoundness(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return runObligation(ctx, ObStealSoundness, f, u, 0)
+}
+
+func checkStealSoundnessShard(ctx context.Context, f Factory, u statespace.Universe, sh shard) Result {
 	res := Result{ID: ObStealSoundness, Passed: true}
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
@@ -104,8 +117,7 @@ func CheckStealSoundness(ctx context.Context, f Factory, u statespace.Universe) 
 				att := sched.Attempt{Thief: ti, Victim: si}
 				sched.Steal(pt, trial, &att)
 				if bad := stealViolation(m, trial, &att, ti, si); bad != "" {
-					res.Passed = false
-					res.Witness = bad
+					res.refute(rank, bad)
 					return false
 				}
 			}
@@ -140,8 +152,12 @@ func stealViolation(before, after *sched.Machine, att *sched.Attempt, ti, si int
 // d, over every state and admitted pair. A policy failing this has
 // unbounded steal sequences available (the GreedyBuggy ping-pong).
 func CheckPotentialDecrease(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return runObligation(ctx, ObPotentialDecrease, f, u, 0)
+}
+
+func checkPotentialDecreaseShard(ctx context.Context, f Factory, u statespace.Universe, sh shard) Result {
 	res := Result{ID: ObPotentialDecrease, Passed: true}
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
@@ -163,10 +179,9 @@ func CheckPotentialDecrease(ctx context.Context, f Factory, u statespace.Univers
 					continue // soundness check reports this separately
 				}
 				if after := sched.PairwiseImbalance(pt, trial); after >= before {
-					res.Passed = false
-					res.Witness = fmt.Sprintf(
+					res.refute(rank, fmt.Sprintf(
 						"state %v: steal c%d<-c%d left potential %d -> %d (no strict decrease)",
-						m.Loads(), ti, si, before, after)
+						m.Loads(), ti, si, before, after))
 					return false
 				}
 			}
@@ -184,22 +199,31 @@ func CheckPotentialDecrease(ctx context.Context, f Factory, u statespace.Univers
 // filter that flipped between selection and steal must have been flipped
 // by a completed steal.
 func CheckFailureImpliesSuccess(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return runObligation(ctx, ObFailureImpliesSucc, f, u, 0)
+}
+
+func checkFailureImpliesSuccessShard(ctx context.Context, f Factory, u statespace.Universe, sh shard) Result {
 	res := Result{ID: ObFailureImpliesSucc, Passed: true}
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
 		res.StatesChecked++
 		ok := statespace.Permutations(m.NumCores(), func(order []int) bool {
+			// Each state fans out to NumCores()! orders, so polling only
+			// per state would stretch cancellation latency by that factor
+			// on wide universes; poll per schedule at the same stride.
+			if res.SchedulesChecked&63 == 0 && aborted(ctx, &res) {
+				return false
+			}
 			res.SchedulesChecked++
 			trial := m.Clone()
 			rr := sched.ConcurrentRound(f(), trial, order)
 			for _, att := range rr.Attempts {
 				if att.Reason == sched.FailRevalidation && !att.PredecessorSuccess {
-					res.Passed = false
-					res.Witness = fmt.Sprintf(
+					res.refute(rank, fmt.Sprintf(
 						"state %v order %v: c%d's failed steal from c%d has no predecessor success",
-						m.Loads(), order, att.Thief, att.Victim)
+						m.Loads(), order, att.Thief, att.Victim))
 					return false
 				}
 			}

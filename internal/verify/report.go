@@ -67,6 +67,14 @@ type Result struct {
 	// exists: the worst-case N for the work-conservation obligations,
 	// zero otherwise.
 	Bound int
+
+	// order is the witness's global enumeration rank (the index of its
+	// thread-count vector in statespace.Universe.Enumerate order). The
+	// sharded driver merges per-shard refutations by keeping the lowest
+	// order, so parallel runs report the same witness a sequential scan
+	// finds first. Meaningful only when Passed is false and Aborted is
+	// false.
+	order int
 }
 
 // String renders a single-line summary.

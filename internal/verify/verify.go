@@ -3,7 +3,7 @@ package verify
 import (
 	"context"
 	"fmt"
-	"sync"
+	"runtime"
 
 	"repro/internal/statespace"
 )
@@ -17,10 +17,19 @@ type Config struct {
 	// MaxRounds caps sequential convergence loops (safety valve for
 	// non-converging policies). Zero means 1000.
 	MaxRounds int
-	// Sequential forces the obligations to run one after another on the
-	// calling goroutine instead of in parallel — for deterministic
-	// profiling and debugging.
+	// Sequential forces the obligations (and their shards) to run one
+	// after another on the calling goroutine instead of on the worker
+	// pool — for deterministic profiling, debugging, and callers whose
+	// factories are not safe for concurrent calls. The universe is
+	// partitioned into exactly the same shards either way, so a
+	// Sequential run's verdicts, counters and witnesses are identical
+	// to every parallel run's.
 	Sequential bool
+	// Parallelism is the worker-pool size shared by all selected
+	// obligations: at most this many shard checks run concurrently.
+	// Zero means GOMAXPROCS. Ignored when Sequential is set. The level
+	// only changes wall-clock time, never results — see Sequential.
+	Parallelism int
 }
 
 // DefaultUniverse is the bounded universe used when a Config leaves it
@@ -65,13 +74,21 @@ func Policy(name string, f Factory, cfg Config) *Report {
 	return rep
 }
 
-// PolicyContext is Policy with cancellation and parallelism: the selected
-// obligations run concurrently (one goroutine each — a real speedup on
-// the 8-obligation suite, whose game-graph checks dominate), and the
-// whole run aborts early when ctx is cancelled. Because obligations run
-// concurrently, f must be safe for concurrent calls; every registered
-// and DSL-compiled factory is, since each call constructs a fresh
-// policy.
+// PolicyContext is Policy with cancellation and parallelism. Each
+// selected obligation's universe is partitioned into shardTotal()
+// disjoint slices (statespace.Universe.EnumerateShard), and all
+// (obligation, shard) tasks drain through one worker pool of
+// cfg.Parallelism goroutines — so a single expensive obligation
+// saturates every worker instead of hogging one goroutine while the
+// other seven finish early. Because shard checks run concurrently, f
+// must be safe for concurrent calls; every registered and DSL-compiled
+// factory is, since each call constructs a fresh policy.
+//
+// The parallelism level never changes the report: the shard partition is
+// fixed per machine, every shard runs to its own first witness or to
+// exhaustion, and merging keeps the witness a sequential whole-universe
+// scan would find first. Verdicts, counters and witnesses are
+// byte-identical from Sequential through any Parallelism.
 //
 // On cancellation the returned report is partial — obligations cut short
 // are marked failed with an "aborted" witness — and the returned error
@@ -97,21 +114,35 @@ func PolicyContext(ctx context.Context, name string, f Factory, cfg Config) (*Re
 			u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups),
 	}
 	rep.Results = make([]Result, len(obligations))
+	total := shardTotal()
 	if cfg.Sequential {
 		for i, id := range obligations {
-			rep.Results[i] = checkObligation(ctx, id, f, u, cfg.MaxRounds)
+			parts := make([]Result, total)
+			for s := range parts {
+				parts[s] = shardCheck(ctx, id, f, u, cfg.MaxRounds, shard{s, total})
+			}
+			rep.Results[i] = mergeResults(id, parts)
 		}
 		return rep, rep.abortErr(ctx)
 	}
-	var wg sync.WaitGroup
-	for i, id := range obligations {
-		wg.Add(1)
-		go func(i int, id ObligationID) {
-			defer wg.Done()
-			rep.Results[i] = checkObligation(ctx, id, f, u, cfg.MaxRounds)
-		}(i, id)
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	wg.Wait()
+	// The shared pool: all (obligation, shard) tasks flattened onto one
+	// bounded worker set, so a single expensive obligation saturates
+	// every worker once the cheap ones drain.
+	parts := make([][]Result, len(obligations))
+	for i := range obligations {
+		parts[i] = make([]Result, total)
+	}
+	forEachTask(len(obligations)*total, workers, func(idx int) {
+		i, s := idx/total, idx%total
+		parts[i][s] = shardCheck(ctx, obligations[i], f, u, cfg.MaxRounds, shard{s, total})
+	})
+	for i, id := range obligations {
+		rep.Results[i] = mergeResults(id, parts[i])
+	}
 	return rep, rep.abortErr(ctx)
 }
 
@@ -135,38 +166,13 @@ func KnownObligation(id ObligationID) bool {
 	return false
 }
 
-// checkObligation dispatches one obligation to its checker. The
-// checkers mark genuinely cut-short results Aborted themselves; a
-// refutation found in the final instant before cancellation remains a
-// conclusive FAIL with its witness.
-func checkObligation(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int) Result {
-	switch id {
-	case ObLemma1:
-		return CheckLemma1(ctx, f, u)
-	case ObStealSoundness:
-		return CheckStealSoundness(ctx, f, u)
-	case ObPotentialDecrease:
-		return CheckPotentialDecrease(ctx, f, u)
-	case ObFailureImpliesSucc:
-		return CheckFailureImpliesSuccess(ctx, f, u)
-	case ObWorkConservSeq:
-		return CheckWorkConservationSequential(ctx, f, u, maxRounds)
-	case ObWorkConservConc:
-		return CheckWorkConservationConcurrent(ctx, f, u)
-	case ObChoiceIndependence:
-		return CheckChoiceIndependence(ctx, f, u)
-	case ObReactivity:
-		return CheckReactivity(ctx, f, u)
-	default:
-		panic(fmt.Sprintf("verify: unknown obligation %q", id))
-	}
-}
-
 // aborted reports whether ctx is done and, if so, marks res as aborted:
 // not passed, with the cancellation as the witness. Checks poll it
-// every 64 enumerated states (ctx.Err takes a mutex, and the parallel
-// obligations would otherwise contend on it in their hottest loop), so
-// cancellation latency is a few dozen states.
+// every 64 enumerated states *and* every 64 adversarial schedules
+// (ctx.Err takes a mutex, and concurrent shard checks would otherwise
+// contend on it in their hottest loops) — the schedule-level poll
+// matters because one state fans out to NumCores()! orders, which would
+// otherwise multiply cancellation latency by that factor.
 func aborted(ctx context.Context, res *Result) bool {
 	if ctx.Err() == nil {
 		return false

@@ -2,7 +2,10 @@ package verify
 
 import (
 	"context"
+	"fmt"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/policy"
@@ -382,6 +385,128 @@ func TestRevalidationAblation(t *testing.T) {
 	}
 	t.Logf("ablation: %d soundness violations, %d potential violations over %d schedules; e.g. %s",
 		res.SoundnessViolations, res.PotentialViolations, res.SchedulesChecked, res.FirstWitness)
+}
+
+func TestShardedDeterminismAcrossParallelism(t *testing.T) {
+	// The sharded driver's contract: Sequential and every parallel level
+	// produce byte-identical reports — same verdicts, same counters,
+	// same witnesses — for proved and refuted policies alike.
+	for _, tc := range []struct {
+		name string
+		f    Factory
+	}{
+		{"delta2", delta2Factory},
+		{"greedy-buggy", greedyFactory},
+	} {
+		base, err := PolicyContext(context.Background(), tc.name, tc.f,
+			Config{Universe: smallUniverse(), Sequential: true})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		for _, par := range []int{1, 2, 4, 8} {
+			rep, err := PolicyContext(context.Background(), tc.name, tc.f,
+				Config{Universe: smallUniverse(), Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", tc.name, par, err)
+			}
+			if !reflect.DeepEqual(rep.Results, base.Results) {
+				t.Errorf("%s parallel=%d: results diverged from sequential:\n%s\nvs\n%s",
+					tc.name, par, rep, base)
+			}
+			for i := range rep.Results {
+				if rep.Results[i].Witness != base.Results[i].Witness {
+					t.Errorf("%s parallel=%d %s: witness %q != sequential %q",
+						tc.name, par, rep.Results[i].ID, rep.Results[i].Witness, base.Results[i].Witness)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedWitnessMatchesWholeUniverseScan(t *testing.T) {
+	// The merged witness must be the one a single sequential scan of the
+	// whole universe finds first (lowest enumeration rank), not whichever
+	// shard happened to refute: re-derive GreedyBuggy's first
+	// potential-decrease violation by brute force and compare.
+	u := smallUniverse()
+	var want string
+	u.Enumerate(func(m *sched.Machine) bool {
+		p := greedyFactory()
+		beginRound(p, m)
+		for ti := range m.Cores {
+			for si := range m.Cores {
+				if ti == si || !p.CanSteal(m.Core(ti), m.Core(si)) {
+					continue
+				}
+				trial := m.Clone()
+				pt := greedyFactory()
+				beginRound(pt, trial)
+				before := sched.PairwiseImbalance(pt, trial)
+				att := sched.Attempt{Thief: ti, Victim: si}
+				sched.Steal(pt, trial, &att)
+				if !att.Succeeded() {
+					continue
+				}
+				if after := sched.PairwiseImbalance(pt, trial); after >= before {
+					want = fmt.Sprintf(
+						"state %v: steal c%d<-c%d left potential %d -> %d (no strict decrease)",
+						m.Loads(), ti, si, before, after)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if want == "" {
+		t.Fatal("brute force found no violation — fixture broken")
+	}
+	r := CheckPotentialDecrease(context.Background(), greedyFactory, u)
+	if r.Passed {
+		t.Fatal("GreedyBuggy passed potential decrease")
+	}
+	if r.Witness != want {
+		t.Errorf("sharded witness %q, whole-universe first witness %q", r.Witness, want)
+	}
+}
+
+func TestFailureImpliesSuccessCancelsMidState(t *testing.T) {
+	// The per-schedule ctx poll: one state of a 7-core universe fans out
+	// to 5040 adversarial orders, so polling only per state would run
+	// thousands of schedules after cancellation. Cancel during the first
+	// round and require the check to stop within a few poll strides.
+	u := statespace.Universe{Cores: 7, MaxPerCore: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	f := func() sched.Policy {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+		return policy.NewDelta2()
+	}
+	r := CheckFailureImpliesSuccess(ctx, f, u)
+	if !r.Aborted {
+		t.Fatalf("check not aborted: %+v", r)
+	}
+	// Each shard may run up to ~2 poll strides (128 schedules) past the
+	// cancellation, and the shard count scales with GOMAXPROCS; anything
+	// near the 5040-order fan-out of a single state per shard means the
+	// inner poll is gone.
+	if limit := shardTotal() * 128; r.SchedulesChecked > limit {
+		t.Errorf("aborted check still ran %d schedules (limit %d)", r.SchedulesChecked, limit)
+	}
+}
+
+func TestRevalidationAblationCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := CheckRevalidationAblation(ctx, delta2Factory,
+		statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true})
+	if !res.Aborted {
+		t.Error("cancelled ablation not marked aborted")
+	}
+	if limit := shardTotal() * 128; res.SchedulesChecked > limit {
+		t.Errorf("cancelled ablation still ran %d schedules (limit %d)", res.SchedulesChecked, limit)
+	}
 }
 
 func TestResultString(t *testing.T) {

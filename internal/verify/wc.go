@@ -17,11 +17,15 @@ import (
 // a stuck violation. The result's Bound is the worst-case N observed —
 // the existential witness of the paper's definition.
 func CheckWorkConservationSequential(ctx context.Context, f Factory, u statespace.Universe, maxRounds int) Result {
+	return runObligation(ctx, ObWorkConservSeq, f, u, maxRounds)
+}
+
+func checkWorkConservationSequentialShard(ctx context.Context, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
 	res := Result{ID: ObWorkConservSeq, Passed: true}
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
@@ -37,21 +41,18 @@ func CheckWorkConservationSequential(ctx context.Context, f Factory, u statespac
 				return true
 			}
 			if round >= maxRounds {
-				res.Passed = false
-				res.Witness = fmt.Sprintf("state %v: no convergence after %d rounds", start, maxRounds)
+				res.refute(rank, fmt.Sprintf("state %v: no convergence after %d rounds", start, maxRounds))
 				return false
 			}
 			rr := sched.SequentialRound(f(), m)
 			if rr.TasksMoved() == 0 {
-				res.Passed = false
-				res.Witness = fmt.Sprintf(
-					"state %v: stuck at non-conserved %v (no steal possible)", start, m.Loads())
+				res.refute(rank, fmt.Sprintf(
+					"state %v: stuck at non-conserved %v (no steal possible)", start, m.Loads()))
 				return false
 			}
 			if !seen.Add(m) {
-				res.Passed = false
-				res.Witness = fmt.Sprintf(
-					"state %v: sequential rounds cycle through %v without conserving", start, m.Loads())
+				res.refute(rank, fmt.Sprintf(
+					"state %v: sequential rounds cycle through %v without conserving", start, m.Loads()))
 				return false
 			}
 		}
@@ -120,6 +121,13 @@ func choiceSuccessors(f Factory, m *sched.Machine, visit func(*sched.Machine, st
 // a cycle of non-conserved states (including self-loops: rounds that
 // change nothing). Otherwise every path reaches conservation and the
 // longest path is the worst-case N.
+//
+// An explorer is shard-local: sharing the memo across shards would need
+// locking on the hottest map, and the per-shard memo still collapses the
+// game graph under each shard's start states. Cancellation is polled per
+// explored node (every 64, matching the enumeration stride); the
+// permutation fan-out under a node needs no extra polling because every
+// successor edge immediately re-enters explore, which polls.
 type concExplorer struct {
 	ctx       context.Context
 	f         Factory
@@ -130,7 +138,7 @@ type concExplorer struct {
 	trace     []traceStep
 	violation string
 	aborted   bool // violation is a cancellation, not a refutation
-	polls     int  // amortizes the ctx check to every 256 explored nodes
+	polls     int  // amortizes the ctx check to every 64 explored nodes
 	states    int
 	schedules int
 }
@@ -158,7 +166,7 @@ func (e *concExplorer) isDone(m *sched.Machine) bool {
 // if the adversary can prevent conservation (violation is filled in).
 func (e *concExplorer) explore(m *sched.Machine) (int, bool) {
 	e.polls++
-	if e.polls&255 == 0 && e.ctx.Err() != nil {
+	if e.polls&63 == 0 && e.ctx.Err() != nil {
 		e.violation = "aborted: " + e.ctx.Err().Error()
 		e.aborted = true
 		return 0, false
@@ -219,21 +227,29 @@ func (e *concExplorer) describeCycle(repeat *sched.Machine) string {
 	return b.String()
 }
 
-// checkGame runs the game-graph exploration over a universe and fills a
-// Result.
-func checkGame(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, succ successorFunc) Result {
+// checkGameShard runs the game-graph exploration over one shard of the
+// universe and fills a per-shard Result. The explorer (and its memo) is
+// private to the shard; the refutation found from a shard's start state
+// is independent of the memo's contents — memoized subtrees are
+// violation-free by construction — so the merged witness is the one a
+// whole-universe sequential scan finds first.
+func checkGameShard(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, succ successorFunc, sh shard) Result {
 	res := Result{ID: id, Passed: true}
 	e := newExplorer(ctx, f, succ)
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
 		res.StatesChecked++
 		n, ok := e.explore(m)
 		if !ok {
-			res.Passed = false
-			res.Aborted = e.aborted
-			res.Witness = fmt.Sprintf("from %v: %s", m.Loads(), e.violation)
+			if e.aborted {
+				res.Passed = false
+				res.Aborted = true
+				res.Witness = fmt.Sprintf("from %v: %s", m.Loads(), e.violation)
+			} else {
+				res.refute(rank, fmt.Sprintf("from %v: %s", m.Loads(), e.violation))
+			}
 			return false
 		}
 		if n > res.Bound {
@@ -253,7 +269,7 @@ func checkGame(ctx context.Context, id ObligationID, f Factory, u statespace.Uni
 // between the two non-idle cores forever, and the explorer returns that
 // cycle as the witness.
 func CheckWorkConservationConcurrent(ctx context.Context, f Factory, u statespace.Universe) Result {
-	return checkGame(ctx, ObWorkConservConc, f, u, orderSuccessors)
+	return runObligation(ctx, ObWorkConservConc, f, u, 0)
 }
 
 // CheckReactivity checks the third performance property the paper's
@@ -265,8 +281,12 @@ func CheckWorkConservationConcurrent(ctx context.Context, f Factory, u statespac
 // Bound is that worst-case delay in rounds — the paper's missing
 // latency limit, made concrete over the bounded universe.
 func CheckReactivity(ctx context.Context, f Factory, u statespace.Universe) Result {
+	return runObligation(ctx, ObReactivity, f, u, 0)
+}
+
+func checkReactivityShard(ctx context.Context, f Factory, u statespace.Universe, sh shard) Result {
 	res := Result{ID: ObReactivity, Passed: true}
-	u.Enumerate(func(m *sched.Machine) bool {
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
 		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
 			return false
 		}
@@ -282,9 +302,14 @@ func CheckReactivity(ctx context.Context, f Factory, u statespace.Universe) Resu
 			n, ok := e.explore(m)
 			res.SchedulesChecked += e.schedules
 			if !ok {
-				res.Passed = false
-				res.Aborted = e.aborted
-				res.Witness = fmt.Sprintf("core %d can starve from %v: %s", target, m.Loads(), e.violation)
+				witness := fmt.Sprintf("core %d can starve from %v: %s", target, m.Loads(), e.violation)
+				if e.aborted {
+					res.Passed = false
+					res.Aborted = true
+					res.Witness = witness
+				} else {
+					res.refute(rank, witness)
+				}
 				return false
 			}
 			if n > res.Bound {
@@ -304,5 +329,5 @@ func CheckReactivity(ctx context.Context, f Factory, u statespace.Universe) Resu
 // secretly rely on its Choose heuristic fails here even if it passes
 // CheckWorkConservationConcurrent.
 func CheckChoiceIndependence(ctx context.Context, f Factory, u statespace.Universe) Result {
-	return checkGame(ctx, ObChoiceIndependence, f, u, choiceSuccessors)
+	return runObligation(ctx, ObChoiceIndependence, f, u, 0)
 }
