@@ -1,0 +1,239 @@
+package optsched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/verify"
+)
+
+// Incremental verification service types (see internal/service). The
+// daemon itself is cmd/schedverifyd; NewVerifyService embeds the same
+// engine in-process.
+type (
+	// VerifyRequest is one submission to the verification service: a
+	// policy by registered name or as DSL source, an optional universe
+	// and an optional obligation subset.
+	VerifyRequest = service.Request
+	// VerifyUniverse is the wire form of a bounded universe.
+	VerifyUniverse = service.UniverseSpec
+	// VerifyStats is the service's /v1/stats snapshot: cache hit/miss
+	// counters, queue depth and per-obligation checker latency.
+	VerifyStats = service.Stats
+	// VerifyService is the embeddable incremental verifier behind
+	// cmd/schedverifyd.
+	VerifyService = service.Service
+	// VerifyServiceConfig parameterizes a VerifyService.
+	VerifyServiceConfig = service.Config
+)
+
+// NewVerifyService starts an in-process incremental verifier — the
+// engine cmd/schedverifyd serves over HTTP. Close it when done.
+var NewVerifyService = service.New
+
+// VerifyServiceUniverse converts a Universe to its wire form.
+var VerifyServiceUniverse = service.UniverseSpecOf
+
+// VerifyClient talks to a running schedverifyd daemon — the fourth way
+// to verify a policy, next to Cluster.Verify, optsched.Verify and the
+// schedverify CLI. The zero value is not usable; set BaseURL.
+//
+// Verify submits and blocks until a verdict: memoized submissions
+// return on the first round trip, queued jobs are polled at
+// PollInterval, and 429 backpressure responses are retried after the
+// server's advertised Retry-After delay. The returned Report is decoded
+// from the daemon's deterministic JSON encoding, so re-encoding it with
+// ReportToJSON reproduces the server's bytes exactly.
+type VerifyClient struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval is the job-poll spacing (default 25ms).
+	PollInterval time.Duration
+}
+
+func (c *VerifyClient) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *VerifyClient) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 25 * time.Millisecond
+}
+
+// Verify submits req and blocks until the daemon produces a report,
+// honoring ctx throughout (a cancelled poll loop also cancels the
+// remote job — queued work is not left behind).
+func (c *VerifyClient) Verify(ctx context.Context, req VerifyRequest) (*Report, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("optsched: encoding verify request: %w", err)
+	}
+	for {
+		resp, err := c.do(ctx, http.MethodPost, "/v1/verify", body)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.code {
+		case http.StatusOK:
+			return decodeReport(resp.envelope)
+		case http.StatusAccepted:
+			return c.poll(ctx, resp.envelope.Poll, resp.envelope.JobID)
+		case http.StatusTooManyRequests:
+			if err := sleepCtx(ctx, resp.retryAfter); err != nil {
+				return nil, err
+			}
+			continue
+		default:
+			return nil, fmt.Errorf("optsched: verify service: %s", resp.errMsg())
+		}
+	}
+}
+
+// poll drives one queued job to completion.
+func (c *VerifyClient) poll(ctx context.Context, pollURL, jobID string) (*Report, error) {
+	if pollURL == "" {
+		pollURL = "/v1/jobs/" + jobID
+	}
+	for {
+		if err := sleepCtx(ctx, c.pollInterval()); err != nil {
+			// Best-effort remote cancellation; the poller is gone either way.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			c.do(cancelCtx, http.MethodDelete, pollURL, nil)
+			cancel()
+			return nil, err
+		}
+		resp, err := c.do(ctx, http.MethodGet, pollURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		if resp.code != http.StatusOK {
+			return nil, fmt.Errorf("optsched: verify service: %s", resp.errMsg())
+		}
+		switch resp.envelope.Status {
+		case string(service.JobDone):
+			return decodeReport(resp.envelope)
+		case string(service.JobCancelled):
+			return nil, fmt.Errorf("optsched: verify job %s cancelled: %s", jobID, resp.envelope.Error)
+		}
+	}
+}
+
+// Stats fetches the daemon's counter snapshot.
+func (c *VerifyClient) Stats(ctx context.Context) (*VerifyStats, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("optsched: verify service stats: HTTP %d", httpResp.StatusCode)
+	}
+	var st VerifyStats
+	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("optsched: decoding stats: %w", err)
+	}
+	return &st, nil
+}
+
+// clientResp is one decoded daemon response.
+type clientResp struct {
+	code       int
+	envelope   service.SubmitResponse
+	retryAfter time.Duration
+	rawError   string
+}
+
+func (r *clientResp) errMsg() string {
+	if r.envelope.Error != "" {
+		return r.envelope.Error
+	}
+	if r.rawError != "" {
+		return r.rawError
+	}
+	return fmt.Sprintf("HTTP %d", r.code)
+}
+
+func (c *VerifyClient) do(ctx context.Context, method, path string, body []byte) (*clientResp, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("optsched: verify service unreachable: %w", err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	resp := &clientResp{code: httpResp.StatusCode}
+	if ra := httpResp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			resp.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if resp.retryAfter == 0 {
+		resp.retryAfter = time.Second
+	}
+	if err := json.Unmarshal(data, &resp.envelope); err != nil {
+		// Error responses are {"error": "..."} maps, which also land in
+		// envelope.Error; anything else is reported raw.
+		resp.rawError = string(data)
+	}
+	return resp, nil
+}
+
+// decodeReport extracts the report from a done envelope.
+func decodeReport(env service.SubmitResponse) (*Report, error) {
+	if len(env.Report) == 0 {
+		return nil, fmt.Errorf("optsched: verify service sent a done response without a report")
+	}
+	return verify.ReportFromJSON(env.Report)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Report JSON codec: the deterministic encoding shared by the daemon,
+// the client and `schedverify -json`.
+var (
+	// ReportToJSON renders a report in the service's canonical JSON form;
+	// equal reports always produce byte-identical documents.
+	ReportToJSON = verify.ReportJSON
+	// ReportFromJSON is its inverse.
+	ReportFromJSON = verify.ReportFromJSON
+)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/statespace"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -49,6 +50,8 @@ type Cluster struct {
 	hasUniverse bool
 	obligations []verify.ObligationID
 	ring        *trace.Ring
+	dslSource   string // set when the policy came from WithDSL
+	verifyURL   string // set by WithVerifyService: Verify delegates here
 }
 
 // options accumulates the functional options before validation.
@@ -216,6 +219,31 @@ func WithTrace(ring *TraceRing) Option {
 	return func(o *options) { o.cluster.ring = ring }
 }
 
+// WithVerifyService delegates Verify to a running schedverifyd daemon
+// at the given base URL (e.g. "http://127.0.0.1:8377") instead of
+// checking in-process. The daemon memoizes per-obligation results under
+// content hashes, so repeated verification of unchanged policies
+// returns without re-running any checker, and an edited policy re-runs
+// only the obligations the edit invalidates.
+//
+// Only registry policies (WithPolicy) and DSL policies (WithDSL) can be
+// shipped over the wire; WithPolicyFactory closures cannot, and the
+// combination is rejected by New. Registry policies are resolved
+// against the daemon's registry by name, topology-needing ones over the
+// daemon's default topology. The daemon's own -maxrounds setting
+// governs the sequential work-conservation bound, so WithMaxRounds is
+// rejected too; WithParallelism is ignored (the daemon's worker pool
+// applies, and parallelism never changes verdicts).
+func WithVerifyService(baseURL string) Option {
+	return func(o *options) {
+		if baseURL == "" {
+			o.fail(fmt.Errorf("optsched: WithVerifyService with an empty URL"))
+			return
+		}
+		o.cluster.verifyURL = baseURL
+	}
+}
+
 // WithUniverse sets the bounded state space Verify quantifies over
 // (default: the verifier's 3-core, 5-thread universe).
 func WithUniverse(u Universe) Option {
@@ -282,6 +310,7 @@ func New(opts ...Option) (*Cluster, error) {
 			return nil, err
 		}
 		c.policyName = ast.Name
+		c.dslSource = o.dslSource
 		c.factory = func() sched.Policy { return dsl.Compile(ast) }
 	default:
 		name := o.namedPolicy
@@ -323,6 +352,14 @@ func New(opts ...Option) (*Cluster, error) {
 		if !verify.KnownObligation(id) {
 			return nil, fmt.Errorf("optsched: unknown obligation %q (known: %v)",
 				id, verify.AllObligations())
+		}
+	}
+	if c.verifyURL != "" {
+		if o.factory != nil {
+			return nil, fmt.Errorf("optsched: WithVerifyService cannot ship a WithPolicyFactory closure; use WithPolicy or WithDSL")
+		}
+		if c.maxRounds != 0 && c.maxRounds != 1000 {
+			return nil, fmt.Errorf("optsched: WithMaxRounds conflicts with WithVerifyService (the daemon's -maxrounds setting governs)")
 		}
 	}
 
@@ -427,6 +464,9 @@ func (c *Cluster) layout(sc Scenario) (int, []int, error) {
 // ctx's error. Reports are deterministic: the parallelism level never
 // changes verdicts, counters or witnesses.
 func (c *Cluster) Verify(ctx context.Context) (*Report, error) {
+	if c.verifyURL != "" {
+		return c.verifyRemote(ctx)
+	}
 	cfg := verify.Config{MaxRounds: c.maxRounds, Obligations: c.obligations, Parallelism: c.parallelism}
 	if c.hasUniverse {
 		cfg.Universe = c.universe
@@ -441,4 +481,30 @@ func (c *Cluster) Verify(ctx context.Context) (*Report, error) {
 			c.policyName, c.policyTop.NCores, uCores)
 	}
 	return verify.PolicyContext(ctx, c.policyName, c.factory, cfg)
+}
+
+// verifyRemote discharges the obligations through the schedverifyd
+// daemon configured by WithVerifyService (see VerifyClient).
+func (c *Cluster) verifyRemote(ctx context.Context) (*Report, error) {
+	req := service.Request{}
+	switch {
+	case c.spec != nil:
+		req.Policy = c.spec.Name
+	case c.dslSource != "":
+		req.Source = c.dslSource
+	default:
+		// New rejects WithPolicyFactory+WithVerifyService, and the default
+		// policy is the registry's delta2; policyName is always a registry
+		// name here.
+		req.Policy = c.policyName
+	}
+	if c.hasUniverse {
+		u := service.UniverseSpecOf(c.universe)
+		req.Universe = &u
+	}
+	for _, id := range c.obligations {
+		req.Obligations = append(req.Obligations, string(id))
+	}
+	client := &VerifyClient{BaseURL: c.verifyURL}
+	return client.Verify(ctx, req)
 }

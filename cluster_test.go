@@ -275,6 +275,10 @@ func TestClusterOptionValidation(t *testing.T) {
 		"zero parallelism":   {WithParallelism(0)},
 		"neg parallelism":    {WithParallelism(-2)},
 		"zero-core universe": {WithUniverse(Universe{Groups: []int{0, 1}})},
+		"empty service URL":  {WithVerifyService("")},
+		"service + factory": {WithVerifyService("http://127.0.0.1:1"),
+			WithPolicyFactory("mine", func() Policy { return NewDelta2() })},
+		"service + max rounds": {WithVerifyService("http://127.0.0.1:1"), WithMaxRounds(50)},
 	}
 	for name, opts := range cases {
 		if _, err := New(opts...); err == nil {

@@ -7,7 +7,13 @@
 //
 //	schedverify [-policy name | -dsl file.pol] [-cores N] [-maxper N]
 //	            [-maxtotal N] [-groups 0,0,1,1] [-weights 1,3]
-//	            [-obligation id] [-quick] [-parallel N]
+//	            [-obligation id] [-quick] [-parallel N] [-json]
+//	            [-service http://host:port]
+//
+// -json prints the report in the canonical JSON encoding shared with
+// the schedverifyd daemon: equal reports are byte-identical documents.
+// -service verifies through a running schedverifyd instead of checking
+// in-process, reusing the daemon's memoized results.
 //
 // The obligations are sharded across a worker pool; -parallel bounds the
 // pool (default GOMAXPROCS). The report is identical at every level —
@@ -46,6 +52,8 @@ func main() {
 		obligation = flag.String("obligation", "", "check only this obligation (e.g. lemma1)")
 		quick      = flag.Bool("quick", false, "smaller universe (cores=3, maxper=2, maxtotal=4)")
 		parallel   = flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "print the report as canonical JSON (the schedverifyd wire encoding)")
+		serviceURL = flag.String("service", "", "verify through a running schedverifyd daemon at this base URL")
 	)
 	flag.Parse()
 
@@ -89,8 +97,11 @@ func main() {
 	}
 
 	opts := []optsched.Option{optsched.WithUniverse(u)}
-	if *parallel != 0 {
+	if *parallel != 0 && *serviceURL == "" {
 		opts = append(opts, optsched.WithParallelism(*parallel))
+	}
+	if *serviceURL != "" {
+		opts = append(opts, optsched.WithVerifyService(*serviceURL))
 	}
 	if *obligation != "" {
 		opts = append(opts, optsched.WithObligations(optsched.ObligationID(*obligation)))
@@ -104,12 +115,20 @@ func main() {
 	defer stop()
 	rep, err := cluster.Verify(ctx)
 	if err != nil {
-		if rep != nil {
+		if rep != nil && !*jsonOut {
 			fmt.Println(rep) // the partial report of a cancelled run
 		}
 		fatal(fmt.Errorf("schedverify: %w", err))
 	}
-	fmt.Println(rep)
+	if *jsonOut {
+		data, err := optsched.ReportToJSON(rep)
+		if err != nil {
+			fatal(fmt.Errorf("schedverify: %w", err))
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		fmt.Println(rep)
+	}
 	if !rep.Passed() {
 		os.Exit(1)
 	}

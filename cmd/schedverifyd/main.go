@@ -1,0 +1,128 @@
+// Command schedverifyd is the incremental verification daemon: a
+// long-running HTTP/JSON service that memoizes per-obligation
+// verification results under content hashes, so resubmitting an
+// unchanged policy returns instantly and an edited policy re-runs only
+// the obligations the edit invalidates.
+//
+//	schedverifyd -addr :8377 -workers 2 -queue 64
+//
+// API (see internal/service):
+//
+//	POST   /v1/verify     submit {"policy": "delta2"} or {"source": "policy ..."}
+//	GET    /v1/jobs/{id}  poll a queued job
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /v1/stats      cache and queue counters
+//	GET    /healthz       liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main minus the process exit, for tests. When ready is non-nil
+// it receives the bound address once the listener is up.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("schedverifyd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
+	queue := fs.Int("queue", 64, "job queue depth; a full queue answers 429 with Retry-After")
+	workers := fs.Int("workers", 2, "concurrent verification jobs")
+	parallel := fs.Int("parallel", 0, "per-job shard worker pool size (0 = GOMAXPROCS)")
+	maxRounds := fs.Int("maxrounds", 1000, "sequential work-conservation round bound")
+	retryAfter := fs.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "schedverifyd: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	d, err := startDaemon(*addr, service.Config{
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		Parallelism: *parallel,
+		MaxRounds:   *maxRounds,
+		RetryAfter:  *retryAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "schedverifyd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "schedverifyd listening on http://%s\n", d.Addr())
+	if ready != nil {
+		ready <- d.Addr()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.Shutdown(shutdownCtx)
+	}()
+
+	if err := d.Serve(); err != nil {
+		fmt.Fprintf(stderr, "schedverifyd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "schedverifyd: shut down")
+	return 0
+}
+
+// daemon couples one service instance to one HTTP listener.
+type daemon struct {
+	svc *service.Service
+	srv *http.Server
+	ln  net.Listener
+}
+
+// startDaemon binds the listener; Serve starts handling.
+func startDaemon(addr string, cfg service.Config) (*daemon, error) {
+	svc := service.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	return &daemon{
+		svc: svc,
+		srv: &http.Server{Handler: svc.Handler()},
+		ln:  ln,
+	}, nil
+}
+
+// Addr returns the bound address.
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// Serve blocks until Shutdown; a clean shutdown returns nil.
+func (d *daemon) Serve() error {
+	err := d.srv.Serve(d.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight HTTP exchanges, then cancels and drains the
+// verification workers.
+func (d *daemon) Shutdown(ctx context.Context) {
+	d.srv.Shutdown(ctx)
+	d.svc.Close()
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	optsched "repro"
+
+	"repro/internal/service"
+)
+
+// End-to-end smoke: real listener on a random port, real HTTP client.
+func TestDaemonEndToEnd(t *testing.T) {
+	d, err := startDaemon("127.0.0.1:0", service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	client := &optsched.VerifyClient{BaseURL: "http://" + d.Addr(), PollInterval: 5 * time.Millisecond}
+
+	// A policy the paper refutes must come back REFUTED...
+	rep, err := client.Verify(ctx, optsched.VerifyRequest{Policy: "greedy-buggy"})
+	if err != nil {
+		t.Fatalf("verify greedy-buggy: %v", err)
+	}
+	if rep.Passed() {
+		t.Error("greedy-buggy verified PROVED; the §4.3 livelock should refute it")
+	}
+
+	// ...and a proved one PROVED.
+	rep, err = client.Verify(ctx, optsched.VerifyRequest{Policy: "delta2"})
+	if err != nil {
+		t.Fatalf("verify delta2: %v", err)
+	}
+	if !rep.Passed() {
+		t.Errorf("delta2 refuted:\n%s", rep)
+	}
+	coldJSON, err := optsched.ReportToJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resubmission is served from the memo, byte-identical.
+	before, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.Verify(ctx, optsched.VerifyRequest{Policy: "delta2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := optsched.ReportToJSON(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("warm report differs from cold:\n%s\nvs\n%s", coldJSON, warmJSON)
+	}
+	after, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ServedFromCache != before.ServedFromCache+1 {
+		t.Errorf("ServedFromCache %d -> %d, want +1", before.ServedFromCache, after.ServedFromCache)
+	}
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("warm resubmission missed the cache: misses %d -> %d", before.CacheMisses, after.CacheMisses)
+	}
+
+	// The Cluster facade's fourth verification path: WithVerifyService.
+	c, err := optsched.New(
+		optsched.WithPolicy("delta2"),
+		optsched.WithVerifyService("http://"+d.Addr()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCluster, err := c.Verify(ctx)
+	if err != nil {
+		t.Fatalf("Cluster.Verify via daemon: %v", err)
+	}
+	clusterJSON, err := optsched.ReportToJSON(viaCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, clusterJSON) {
+		t.Error("Cluster.Verify via daemon differs from direct client report")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errBuf, nil); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errBuf, nil); code != 2 {
+		t.Errorf("stray argument: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unexpected arguments") {
+		t.Errorf("stray-argument diagnostic missing: %q", errBuf.String())
+	}
+}

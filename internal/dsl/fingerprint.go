@@ -1,0 +1,144 @@
+package dsl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// This file computes canonical compiled forms of DSL policies for
+// content-addressed verification caching (cmd/schedverifyd). The cache
+// must key policies by what they *compute*, not by their source bytes:
+// whitespace, comments, attribute aliases (thief/self, victim/stealee,
+// threads/nthreads), Listing-1 method parens (`load()` vs `load`),
+// redundant grouping parens and omitted-clause defaults all evaporate
+// during parsing and checking, so two sources that compile to the same
+// decision procedure must hash identically. Rendering therefore walks
+// the *checked* AST and prints resolved roots and attributes, never the
+// surface spelling; every binary is fully parenthesized so the
+// canonical text is unambiguous without precedence rules.
+//
+// The policy's declared name is deliberately excluded: renaming a
+// policy does not change what the verifier proves about it.
+
+// ComponentForm returns the canonical compiled form of one policy
+// component ("load", "filter", "steal" or "choose" — the four parts of
+// sched.Policy; verify.ObligationDeps speaks the same names). The form
+// is closed over the load clause: a filter or steal expression that
+// references `x.load`, and a chooser (max_load/min_load) defined in
+// terms of the load metric, embed the load clause's canonical form — so
+// editing the load clause changes exactly the components that can
+// observe it. p must come from Parse (checked and default-filled).
+func ComponentForm(p *Policy, comp string) string {
+	switch comp {
+	case "load":
+		return "load = " + canonExpr(p.Load)
+	case "filter":
+		return closeOverLoad(p, "filter = "+canonExpr(p.Filter), refersToLoad(p.Filter))
+	case "steal":
+		return closeOverLoad(p, "steal = "+canonExpr(p.Steal), refersToLoad(p.Steal))
+	case "choose":
+		form := "choose = " + canonChooser(p.Choose)
+		return closeOverLoad(p, form, chooserUsesLoad(p.Choose))
+	}
+	panic(fmt.Sprintf("dsl: unknown policy component %q", comp))
+}
+
+// ComponentForms returns every component's canonical form, keyed by
+// component name.
+func ComponentForms(p *Policy) map[string]string {
+	return map[string]string{
+		"load":   ComponentForm(p, "load"),
+		"filter": ComponentForm(p, "filter"),
+		"steal":  ComponentForm(p, "steal"),
+		"choose": ComponentForm(p, "choose"),
+	}
+}
+
+// Fingerprint hashes a canonical form to the hex digest used in cache
+// keys.
+func Fingerprint(form string) string {
+	sum := sha256.Sum256([]byte(form))
+	return hex.EncodeToString(sum[:])
+}
+
+// closeOverLoad appends the load clause's canonical form when the
+// component references the load metric.
+func closeOverLoad(p *Policy, form string, refs bool) string {
+	if !refs {
+		return form
+	}
+	return form + "\nload = " + canonExpr(p.Load)
+}
+
+// canonChooser renders a chooser canonically; random always prints its
+// seed, since random() and random(0) drive the same xorshift stream.
+func canonChooser(c Chooser) string {
+	name := c.Name
+	if name == "" {
+		name = "first"
+	}
+	if name == "random" {
+		return fmt.Sprintf("random(%d)", c.Seed)
+	}
+	return name
+}
+
+// chooserUsesLoad reports whether the chooser's semantics depend on the
+// policy's load metric (max_load and min_load rank candidates by it;
+// first and random never look at it).
+func chooserUsesLoad(c Chooser) bool {
+	return c.Name == "max_load" || c.Name == "min_load"
+}
+
+// canonExpr renders a checked expression canonically: resolved roots
+// (self/stealee), canonical attribute spellings, full parenthesization.
+func canonExpr(e expr) string {
+	var b strings.Builder
+	writeCanon(&b, e)
+	return b.String()
+}
+
+func writeCanon(b *strings.Builder, e expr) {
+	switch n := e.(type) {
+	case *intLit:
+		fmt.Fprintf(b, "%d", n.val)
+	case *boolLit:
+		fmt.Fprintf(b, "%v", n.val)
+	case *attrRef:
+		root := "self"
+		if n.root == rootStealee {
+			root = "stealee"
+		}
+		b.WriteString(root)
+		b.WriteString(".")
+		b.WriteString(attrNames[n.attr])
+	case *unary:
+		b.WriteString(n.op)
+		writeCanon(b, n.x)
+	case *binary:
+		b.WriteString("(")
+		writeCanon(b, n.l)
+		b.WriteString(" ")
+		b.WriteString(n.op)
+		b.WriteString(" ")
+		writeCanon(b, n.r)
+		b.WriteString(")")
+	default:
+		panic(fmt.Sprintf("dsl: canonExpr on %T", e))
+	}
+}
+
+// refersToLoad walks e for references to the policy's load metric.
+func refersToLoad(e expr) bool {
+	switch n := e.(type) {
+	case *attrRef:
+		return n.attr == attrLoad
+	case *unary:
+		return refersToLoad(n.x)
+	case *binary:
+		return refersToLoad(n.l) || refersToLoad(n.r)
+	}
+	return false
+}

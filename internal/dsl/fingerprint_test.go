@@ -1,0 +1,143 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Policy {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+// Whitespace, comments, alias spellings, Listing-1 method parens,
+// redundant grouping and omitted-clause defaults must all hash
+// identically — the naive source-bytes trap the cache must not ship
+// with.
+func TestComponentFormsIgnoreSurfaceSyntax(t *testing.T) {
+	base := mustParse(t, `policy a {
+    load   = self.ready.size + self.current.size
+    filter = stealee.load - self.load >= 2
+    steal  = 1
+    choose = first
+}`)
+	variants := []string{
+		// Comments, blank lines, crushed whitespace.
+		"# leading comment\npolicy b {\n\n  load=self.ready.size+self.current.size # trailing\n  filter=stealee.load-self.load>=2\n  steal=1\n  choose=first\n}",
+		// Alias roots and attribute spellings, method parens.
+		`policy c {
+    load   = core.nready + self.running
+    filter = victim.load() - thief.load() >= 2
+    steal  = 1
+    choose = first
+}`,
+		// Redundant grouping parens and omitted steal/choose defaults.
+		`policy d {
+    load   = ((self.ready.size) + (self.current.size))
+    filter = ((stealee.load - self.load) >= 2)
+}`,
+	}
+	for comp, want := range ComponentForms(base) {
+		for i, src := range variants {
+			got := ComponentForm(mustParse(t, src), comp)
+			if got != want {
+				t.Errorf("variant %d component %s:\n got  %q\n want %q", i, comp, got, want)
+			}
+		}
+	}
+}
+
+// The declared policy name is not part of any component form.
+func TestComponentFormsExcludeName(t *testing.T) {
+	a := mustParse(t, "policy one { filter = stealee.nthreads - self.nthreads >= 2 }")
+	b := mustParse(t, "policy two { filter = stealee.nthreads - self.nthreads >= 2 }")
+	for comp, form := range ComponentForms(a) {
+		if got := ComponentForm(b, comp); got != form {
+			t.Errorf("component %s differs across names: %q vs %q", comp, form, got)
+		}
+		if strings.Contains(form, "one") {
+			t.Errorf("component %s leaks the policy name: %q", comp, form)
+		}
+	}
+}
+
+// A semantic edit to one clause changes that clause's form (and the
+// forms closed over it) while leaving the others untouched.
+func TestComponentFormsIsolateEdits(t *testing.T) {
+	base := mustParse(t, `policy p {
+    load   = self.nthreads
+    filter = stealee.load - self.load >= 2
+    steal  = 1
+    choose = max_load
+}`)
+	edited := mustParse(t, `policy p {
+    load   = self.nthreads
+    filter = stealee.load - self.load >= 2
+    steal  = 2
+    choose = max_load
+}`)
+	for _, comp := range []string{"load", "filter", "choose"} {
+		if ComponentForm(base, comp) != ComponentForm(edited, comp) {
+			t.Errorf("steal edit changed the %s form", comp)
+		}
+	}
+	if ComponentForm(base, "steal") == ComponentForm(edited, "steal") {
+		t.Error("steal edit did not change the steal form")
+	}
+}
+
+// Load closure: components that reference the load metric embed it, so
+// a load edit flows into them — and only them.
+func TestComponentFormsLoadClosure(t *testing.T) {
+	loadFree := mustParse(t, `policy p {
+    load   = self.weight.sum
+    filter = stealee.nthreads - self.nthreads >= 2
+    steal  = 1
+    choose = first
+}`)
+	loadEdited := mustParse(t, `policy p {
+    load   = self.nthreads
+    filter = stealee.nthreads - self.nthreads >= 2
+    steal  = 1
+    choose = first
+}`)
+	for _, comp := range []string{"filter", "steal", "choose"} {
+		if ComponentForm(loadFree, comp) != ComponentForm(loadEdited, comp) {
+			t.Errorf("load edit reached load-free component %s", comp)
+		}
+	}
+	if ComponentForm(loadFree, "load") == ComponentForm(loadEdited, "load") {
+		t.Error("load edit did not change the load form")
+	}
+
+	// max_load ranks by the load metric, so the choose form must embed it.
+	maxLoad := mustParse(t, `policy p {
+    load   = self.weight.sum
+    filter = stealee.nthreads - self.nthreads >= 2
+    choose = max_load
+}`)
+	if got := ComponentForm(maxLoad, "choose"); !strings.Contains(got, "weight.sum") {
+		t.Errorf("max_load choose form does not embed the load clause: %q", got)
+	}
+	// A filter referencing x.load embeds it too.
+	if got := ComponentForm(mustParse(t, `policy p {
+    load   = self.weight.sum
+    filter = stealee.load - self.load >= 2
+}`), "filter"); !strings.Contains(got, "weight.sum") {
+		t.Errorf("load-referencing filter form does not embed the load clause: %q", got)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Fingerprint("filter = x"), Fingerprint("filter = x")
+	if a != b || len(a) != 64 {
+		t.Fatalf("Fingerprint unstable or malformed: %q vs %q", a, b)
+	}
+	if Fingerprint("filter = y") == a {
+		t.Fatal("distinct forms collide")
+	}
+}

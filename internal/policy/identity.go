@@ -1,0 +1,42 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/dsl"
+)
+
+// ComponentForms returns the spec's per-component content identity for
+// verification caching, keyed by the component names of sched.Policy
+// ("load", "filter", "choose", "steal" — the vocabulary of
+// verify.ObligationDeps).
+//
+// Specs carrying a DSL equivalence hash like a direct DSL submission:
+// each component's identity is the canonical compiled form of the
+// corresponding clause (dsl.ComponentForm), so `-policy delta2` and a
+// POST of Listing 1's source coalesce onto the same cache entries, and
+// two registered specs that differ only in one clause (delta2 vs
+// delta2-gen, which differ only in choose) share the entries for the
+// obligations that never consult that clause.
+//
+// Plain Go specs get the opaque identity "go:<name>" for every
+// component. That is sound for schedverifyd's in-process cache — a Go
+// implementation cannot change within one process lifetime — but it is
+// deliberately all-or-nothing: without a clause-level description there
+// is nothing finer to hash, and restarting a rebuilt daemon starts with
+// an empty cache anyway.
+func (s Spec) ComponentForms() (map[string]string, error) {
+	if s.DSL == "" {
+		opaque := "go:" + s.Name
+		forms := make(map[string]string, 4)
+		for _, comp := range []string{"load", "filter", "choose", "steal"} {
+			forms[comp] = opaque
+		}
+		return forms, nil
+	}
+	ast, err := dsl.Parse(s.DSL)
+	if err != nil {
+		return nil, fmt.Errorf("policy: spec %q carries broken DSL: %w", s.Name, err)
+	}
+	return dsl.ComponentForms(ast), nil
+}

@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+// Every spec that asserts a DSL equivalence must actually be
+// behaviorally identical to its DSL's compiled form — same load, same
+// filter decisions, same choice, same steal sizing — over every state
+// of the verifier's default universe. This is what licenses schedverifyd
+// to share cache entries between the Go spec and equivalent DSL
+// submissions.
+func TestSpecDSLEquivalence(t *testing.T) {
+	u := statespace.Universe{Cores: 3, MaxPerCore: 3, MaxTotal: 5, IncludeUnscheduled: true}
+	for _, spec := range Specs() {
+		if spec.DSL == "" {
+			continue
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ast, err := dsl.Parse(spec.DSL)
+			if err != nil {
+				t.Fatalf("spec %q carries broken DSL: %v", spec.Name, err)
+			}
+			u.Enumerate(func(m *sched.Machine) bool {
+				goP, dslP := spec.New(nil), dsl.Compile(ast)
+				for _, c := range m.Cores {
+					if gl, dl := goP.Load(c), dslP.Load(c); gl != dl {
+						t.Fatalf("state %v: Load(c%d) Go=%d DSL=%d", m.Loads(), c.ID, gl, dl)
+					}
+				}
+				var candidates []*sched.Core
+				for _, thief := range m.Cores {
+					candidates = candidates[:0]
+					for _, stealee := range m.Cores {
+						if stealee.ID == thief.ID {
+							continue
+						}
+						gc, dc := goP.CanSteal(thief, stealee), dslP.CanSteal(thief, stealee)
+						if gc != dc {
+							t.Fatalf("state %v: CanSteal(c%d,c%d) Go=%v DSL=%v",
+								m.Loads(), thief.ID, stealee.ID, gc, dc)
+						}
+						if gc {
+							candidates = append(candidates, stealee)
+							gn, dn := goP.StealCount(thief, stealee), dslP.StealCount(thief, stealee)
+							if gn != dn {
+								t.Fatalf("state %v: StealCount(c%d,c%d) Go=%d DSL=%d",
+									m.Loads(), thief.ID, stealee.ID, gn, dn)
+							}
+						}
+					}
+					if len(candidates) > 0 {
+						gch, dch := goP.Choose(thief, candidates), dslP.Choose(thief, candidates)
+						if gch.ID != dch.ID {
+							t.Fatalf("state %v: Choose(c%d) Go=c%d DSL=c%d",
+								m.Loads(), thief.ID, gch.ID, dch.ID)
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// Plain Go specs hash opaquely by name; DSL-backed specs hash by
+// compiled clause. delta2 and delta2-gen differ only in choose.
+func TestSpecComponentForms(t *testing.T) {
+	d2, _ := Lookup("delta2")
+	gen, _ := Lookup("delta2-gen")
+	f1, err := d2.ComponentForms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := gen.ComponentForms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []string{"load", "filter", "steal"} {
+		if f1[comp] != f2[comp] {
+			t.Errorf("delta2 and delta2-gen disagree on %s:\n %q\n %q", comp, f1[comp], f2[comp])
+		}
+	}
+	if f1["choose"] == f2["choose"] {
+		t.Error("delta2 (first) and delta2-gen (max_load) share a choose form")
+	}
+
+	h, _ := Lookup("hierarchical")
+	forms, err := h.ComponentForms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for comp, form := range forms {
+		if form != "go:hierarchical" {
+			t.Errorf("plain Go spec component %s = %q, want opaque name identity", comp, form)
+		}
+	}
+
+	broken := Spec{Name: "broken", DSL: "policy x {"}
+	if _, err := broken.ComponentForms(); err == nil {
+		t.Error("broken DSL accepted")
+	}
+}

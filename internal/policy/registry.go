@@ -54,6 +54,15 @@ type Spec struct {
 	Provenance Provenance
 	// Doc is a one-line description for listings.
 	Doc string
+	// DSL, when set, is DSL source the registrant asserts to be
+	// behaviorally identical to the Go implementation — same load,
+	// filter, choice and steal semantics over every machine state. The
+	// incremental verification service then identifies the policy by its
+	// canonical compiled form (see ComponentForms), so submitting this
+	// spec by name and submitting equivalent DSL source share one cache
+	// entry. Leave it empty unless the equivalence is test-enforced:
+	// a wrong assertion here replays another policy's verdicts.
+	DSL string
 }
 
 // New builds a fresh instance from the spec. A nil topology selects
@@ -144,11 +153,23 @@ func NewWithTopology(name string, top *topology.Topology) (sched.Policy, error) 
 }
 
 func init() {
+	// The DSL equivalences below are test-enforced: delta2 by
+	// TestSpecDSLEquivalence (this package), delta2-gen additionally by
+	// TestGeneratedDelta2MatchesEverything. They let schedverifyd share
+	// cache entries between name submissions and equivalent DSL source.
+	// NewDelta2's load is NThreads = ready.size + current.size; the DSL
+	// spells it out because that is the committed delta2.pol form.
 	Register(Spec{
 		Name:       "delta2",
 		Factory:    func() sched.Policy { return NewDelta2() },
 		Provenance: ProvenanceProved,
 		Doc:        "Listing 1's simple balancer: steal one task across a load gap >= 2",
+		DSL: `policy delta2 {
+    load   = self.ready.size + self.current.size
+    filter = stealee.load - self.load >= 2
+    steal  = 1
+    choose = first
+}`,
 	})
 	Register(Spec{
 		Name:       "weighted",
@@ -201,6 +222,15 @@ func init() {
 		Factory:    func() sched.Policy { return &Delta2Gen{} },
 		Provenance: ProvenanceGenerated,
 		Doc:        "Listing 1 as emitted by the DSL Go backend (scheddsl -gen)",
+		// testdata/delta2.pol, the source gen_delta2.go was generated
+		// from. Differs from delta2 only in choose, so the two specs
+		// share cache entries for every choose-independent obligation.
+		DSL: `policy delta2_gen {
+    load   = self.ready.size + self.current.size
+    filter = stealee.load - self.load >= 2
+    steal  = 1
+    choose = max_load
+}`,
 	})
 	Register(Spec{
 		Name:            "numa-aware",

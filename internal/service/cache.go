@@ -1,0 +1,75 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/verify"
+)
+
+// resultCache is the content-addressed memo of per-obligation verify
+// Results. Keys are content hashes (key.go), so entries never go stale
+// — a changed policy, universe, obligation or verifier version simply
+// hashes elsewhere — and the cache never evicts. Values are final
+// merged Results from the deterministic sharded driver; replaying one
+// into a report is byte-identical to re-running the checker.
+type resultCache struct {
+	mu      sync.RWMutex
+	entries map[string]verify.Result
+
+	// hits/misses count lookup probes: one per obligation per executed
+	// submission (the submit fast-path peeks first so a submission's
+	// keys are never double-counted). The stats endpoint exposes them —
+	// this is how a client observes that a one-clause edit invalidated
+	// exactly the dependent obligations.
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: make(map[string]verify.Result)}
+}
+
+// peekAll reports whether every key is cached, without touching the
+// hit/miss accounting.
+func (c *resultCache) peekAll(keys []string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, key := range keys {
+		if _, ok := c.entries[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the memoized result for key, counting the probe as a
+// hit or miss.
+func (c *resultCache) lookup(key string) (verify.Result, bool) {
+	c.mu.RLock()
+	res, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return res, ok
+}
+
+// store memoizes a completed result. Aborted results are conclusions
+// about the cancellation, not the policy — never memoize them.
+func (c *resultCache) store(key string, res verify.Result) {
+	if res.Aborted {
+		return
+	}
+	c.mu.Lock()
+	c.entries[key] = res
+	c.mu.Unlock()
+}
+
+func (c *resultCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

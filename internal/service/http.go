@@ -1,0 +1,141 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/verify"
+)
+
+// HTTP/JSON surface of the daemon:
+//
+//	POST   /v1/verify     submit a Request; 200 done (cache), 202 queued,
+//	                      400 bad request, 429 queue full (+ Retry-After)
+//	GET    /v1/jobs/{id}  poll a job; includes the report when done
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /v1/stats      Stats snapshot
+//	GET    /healthz       liveness
+//
+// Submit and poll responses share the SubmitResponse envelope. The
+// embedded report is the deterministic verify.ReportJSON encoding — the
+// same bytes `schedverify -json` prints — re-compacted by the envelope
+// encoder; fetch it from the envelope's `report` field for
+// byte-comparison across requests.
+
+// SubmitResponse is the envelope of submit and poll responses.
+type SubmitResponse struct {
+	// Status is "done", "queued", "running" or "cancelled".
+	Status string `json:"status"`
+	// Cached is true when a submit was answered entirely from the memo
+	// without queueing a job.
+	Cached bool `json:"cached,omitempty"`
+	// JobID and Poll identify the job to poll when Status is not "done".
+	JobID string `json:"job_id,omitempty"`
+	Poll  string `json:"poll,omitempty"`
+	// Passed summarizes the report verdict when Status is "done".
+	Passed *bool `json:"passed,omitempty"`
+	// Error carries the cancellation or failure message.
+	Error string `json:"error,omitempty"`
+	// Report is the verify.ReportJSON document when Status is "done".
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "verifier_version": verify.Version})
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	rep, job, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case rep != nil:
+		writeJSON(w, http.StatusOK, doneResponse(rep, true))
+	default:
+		state, _, _ := job.Snapshot()
+		writeJSON(w, http.StatusAccepted, SubmitResponse{
+			Status: string(state),
+			JobID:  job.ID(),
+			Poll:   "/v1/jobs/" + job.ID(),
+		})
+	}
+}
+
+func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	state, rep, errMsg := job.Snapshot()
+	resp := SubmitResponse{Status: string(state), JobID: job.ID(), Error: errMsg}
+	if state == JobDone {
+		resp = doneResponse(rep, false)
+		resp.JobID = job.ID()
+	} else if state != JobCancelled {
+		resp.Poll = "/v1/jobs/" + job.ID()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	state, _, _ := job.Snapshot()
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Status: string(state), JobID: job.ID()})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// doneResponse wraps a finished report in the envelope.
+func doneResponse(rep *verify.Report, cached bool) SubmitResponse {
+	passed := rep.Passed()
+	data, err := verify.ReportJSON(rep)
+	if err != nil {
+		// Unreachable: Report marshals from plain structs.
+		data = []byte(fmt.Sprintf("%q", err.Error()))
+	}
+	return SubmitResponse{Status: "done", Cached: cached, Passed: &passed, Report: data}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

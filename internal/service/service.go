@@ -1,0 +1,438 @@
+// Package service is the incremental verification service behind
+// cmd/schedverifyd: a long-running daemon that keeps machine-checked
+// scheduler verdicts hot and re-verifies only what a delta invalidates.
+//
+// Clients submit a policy (DSL source or registered policy.Spec name)
+// plus a bounded universe and receive either a memoized verdict — a
+// verify.Report byte-identical to what a cold run would print — or a
+// queued job handle to poll. Results are memoized per (policy
+// components, universe, obligation, verifier version) under content
+// hashes (see key.go), so a one-clause DSL edit re-runs only the
+// obligations whose checkers consult that clause, not all eight.
+//
+// The execution layer is the existing sharded worker-pool driver
+// (verify.RunObligation): per-job context cancellation, deterministic
+// shard merges, reports independent of parallelism level — which is
+// exactly what makes memoized per-obligation Results safe to splice
+// into fresh reports.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/statespace"
+	"repro/internal/verify"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run; a full queue
+	// makes Submit fail with ErrQueueFull (HTTP 429 + Retry-After).
+	// Zero means 64.
+	QueueDepth int
+	// Workers is the number of jobs executing concurrently. Zero means
+	// 2 — each job already fans its obligation shards out over
+	// Parallelism goroutines, so a few job slots saturate a machine.
+	Workers int
+	// Parallelism is the per-job verify worker-pool size (see
+	// verify.Config.Parallelism). Zero means GOMAXPROCS. The level never
+	// changes results, so it is not part of any cache key.
+	Parallelism int
+	// MaxRounds caps the sequential work-conservation search (see
+	// verify.Config.MaxRounds). Zero means 1000. It can change that
+	// obligation's verdict, so it is part of that obligation's cache key.
+	MaxRounds int
+	// RetryAfter is the backoff advertised to clients when the queue is
+	// full. Zero means 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 1000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity;
+// the HTTP layer maps it to 429 with a Retry-After header.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// maxRetainedJobs bounds the finished-job history a long-running daemon
+// keeps for polling; the oldest finished jobs are evicted beyond it.
+const maxRetainedJobs = 1024
+
+// Service is the incremental verifier. Create with New, serve over HTTP
+// via Handler, stop with Close.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	seq       int64
+	jobs      map[string]*Job
+	byKey     map[string]*Job // jobKey -> live (queued/running) job, for coalescing
+	doneOrder []string        // finished job ids, oldest first (retention ring)
+
+	jobsSubmitted   atomic.Int64
+	jobsCoalesced   atomic.Int64
+	jobsCompleted   atomic.Int64
+	jobsCancelled   atomic.Int64
+	servedFromCache atomic.Int64
+
+	obMu    sync.Mutex
+	obStats map[verify.ObligationID]*obAgg
+}
+
+// obAgg accumulates per-obligation verification latency (cache misses
+// only — hits never run the checker).
+type obAgg struct {
+	runs    int64
+	totalNs int64
+	maxNs   int64
+}
+
+// New starts a Service with cfg.Workers job executors.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		cache:   newResultCache(),
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[string]*Job),
+		obStats: make(map[verify.ObligationID]*obAgg),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Close cancels every running job, rejects further submissions and
+// waits for the workers to drain.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// submission is a resolved, validated request: a concrete factory plus
+// the content-hash keys of every requested obligation.
+type submission struct {
+	display     string // report header name
+	factory     verify.Factory
+	universe    statespace.Universe
+	obligations []verify.ObligationID
+	keys        []string // parallel to obligations
+	jobKey      string
+}
+
+// resolve validates a request and computes its content identity.
+func (s *Service) resolve(req Request) (*submission, error) {
+	sub := &submission{}
+	switch {
+	case req.Policy != "" && req.Source != "":
+		return nil, fmt.Errorf("service: request carries both a policy name and DSL source")
+	case req.Policy != "":
+		spec, ok := policy.Lookup(req.Policy)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown policy %q (known: %v)", req.Policy, policy.Names())
+		}
+		forms, err := spec.ComponentForms()
+		if err != nil {
+			return nil, err
+		}
+		sub.display = spec.Name
+		sub.factory = func() sched.Policy { return spec.New(nil) }
+		sub.keys, sub.obligations, err = s.keysFor(req, forms)
+		if err != nil {
+			return nil, err
+		}
+	case req.Source != "":
+		ast, err := dsl.Parse(req.Source)
+		if err != nil {
+			return nil, err
+		}
+		sub.display = ast.Name
+		sub.factory = func() sched.Policy { return dsl.Compile(ast) }
+		sub.keys, sub.obligations, err = s.keysFor(req, dsl.ComponentForms(ast))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("service: request needs a policy name or DSL source")
+	}
+	sub.universe = req.universe()
+	sub.jobKey = jobKeyOf(sub.display, sub.keys)
+	return sub, nil
+}
+
+// keysFor resolves the requested obligations and their content keys.
+func (s *Service) keysFor(req Request, forms map[string]string) ([]string, []verify.ObligationID, error) {
+	obligations := verify.AllObligations()
+	if len(req.Obligations) > 0 {
+		obligations = make([]verify.ObligationID, len(req.Obligations))
+		seen := make(map[verify.ObligationID]bool, len(req.Obligations))
+		for i, name := range req.Obligations {
+			id := verify.ObligationID(name)
+			if !verify.KnownObligation(id) {
+				return nil, nil, fmt.Errorf("service: unknown obligation %q (known: %v)", name, verify.AllObligations())
+			}
+			if seen[id] {
+				return nil, nil, fmt.Errorf("service: duplicate obligation %q", name)
+			}
+			seen[id] = true
+			obligations[i] = id
+		}
+	}
+	u := req.universe()
+	if err := u.Validate(); err != nil {
+		return nil, nil, err
+	}
+	keys := make([]string, len(obligations))
+	for i, id := range obligations {
+		keys[i] = obligationKey(forms, u, id, s.cfg.MaxRounds)
+	}
+	return keys, obligations, nil
+}
+
+// Submit resolves and either answers from the cache, coalesces onto an
+// identical in-flight job, or enqueues a new job. Exactly one of the
+// returns is non-nil on success: a report (every obligation memoized —
+// byte-identical to a cold run) or a job to poll. A full queue returns
+// ErrQueueFull.
+func (s *Service) Submit(req Request) (*verify.Report, *Job, error) {
+	sub, err := s.resolve(req)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fast path: every obligation memoized. Peek first so the hit/miss
+	// accounting counts each submission's keys exactly once.
+	if s.cache.peekAll(sub.keys) {
+		results := make([]verify.Result, len(sub.obligations))
+		for i, key := range sub.keys {
+			res, ok := s.cache.lookup(key)
+			if !ok {
+				// Unreachable: the cache never evicts. Fall through to a
+				// job rather than fabricating a result.
+				return s.enqueue(sub)
+			}
+			results[i] = res
+		}
+		s.servedFromCache.Add(1)
+		return sub.report(results), nil, nil
+	}
+	return s.enqueue(sub)
+}
+
+// enqueue coalesces onto a live identical job or queues a new one.
+func (s *Service) enqueue(sub *submission) (*verify.Report, *Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	if live, ok := s.byKey[sub.jobKey]; ok {
+		s.jobsCoalesced.Add(1)
+		return nil, live, nil
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.ctx)
+	job := &Job{
+		id:        fmt.Sprintf("j-%d", s.seq),
+		sub:       sub,
+		ctx:       ctx,
+		cancelFn:  cancel,
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		cancel()
+		return nil, nil, ErrQueueFull
+	}
+	s.jobs[job.id] = job
+	s.byKey[sub.jobKey] = job
+	s.jobsSubmitted.Add(1)
+	return nil, job, nil
+}
+
+// Job looks up a job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// RetryAfter is the backoff the HTTP layer advertises on ErrQueueFull.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// runJob executes one job on a worker: memoized obligations splice in
+// from the cache, the rest run on the sharded driver and are stored.
+func (s *Service) runJob(job *Job) {
+	job.mu.Lock()
+	if job.ctx.Err() != nil {
+		job.mu.Unlock()
+		s.finish(job, nil, "cancelled before start: "+job.ctx.Err().Error())
+		return
+	}
+	job.state = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	sub := job.sub
+	cfg := verify.Config{
+		Universe:    sub.universe,
+		MaxRounds:   s.cfg.MaxRounds,
+		Parallelism: s.cfg.Parallelism,
+	}
+	results := make([]verify.Result, len(sub.obligations))
+	for i, id := range sub.obligations {
+		if res, ok := s.cache.lookup(sub.keys[i]); ok {
+			results[i] = res
+			continue
+		}
+		start := time.Now()
+		res := verify.RunObligation(job.ctx, id, sub.factory, cfg)
+		if res.Aborted {
+			s.finish(job, nil, "cancelled: "+res.Witness)
+			return
+		}
+		s.recordLatency(id, time.Since(start))
+		s.cache.store(sub.keys[i], res)
+		results[i] = res
+	}
+	s.finish(job, sub.report(results), "")
+}
+
+// finish moves a job to its terminal state and updates the indexes.
+func (s *Service) finish(job *Job, rep *verify.Report, errMsg string) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	if rep != nil {
+		job.state = JobDone
+		job.report = rep
+	} else {
+		job.state = JobCancelled
+		job.errMsg = errMsg
+	}
+	job.mu.Unlock()
+	if rep != nil {
+		s.jobsCompleted.Add(1)
+	} else {
+		s.jobsCancelled.Add(1)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byKey[job.sub.jobKey] == job {
+		delete(s.byKey, job.sub.jobKey)
+	}
+	s.doneOrder = append(s.doneOrder, job.id)
+	for len(s.doneOrder) > maxRetainedJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+func (s *Service) recordLatency(id verify.ObligationID, d time.Duration) {
+	s.obMu.Lock()
+	defer s.obMu.Unlock()
+	agg := s.obStats[id]
+	if agg == nil {
+		agg = &obAgg{}
+		s.obStats[id] = agg
+	}
+	agg.runs++
+	agg.totalNs += int64(d)
+	if int64(d) > agg.maxNs {
+		agg.maxNs = int64(d)
+	}
+}
+
+// report assembles the submission's verify.Report from per-obligation
+// results, in the submission's obligation order. Because every Result
+// came from the same deterministic sharded driver, the assembled report
+// is byte-identical (under verify.ReportJSON) to a cold PolicyContext
+// run of the same submission.
+func (sub *submission) report(results []verify.Result) *verify.Report {
+	return &verify.Report{
+		Policy:   sub.display,
+		Universe: sub.universe.String(),
+		Results:  results,
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		VerifierVersion: verify.Version,
+		CacheHits:       s.cache.hits.Load(),
+		CacheMisses:     s.cache.misses.Load(),
+		CacheEntries:    s.cache.len(),
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   s.cfg.QueueDepth,
+		JobsSubmitted:   s.jobsSubmitted.Load(),
+		JobsCoalesced:   s.jobsCoalesced.Load(),
+		JobsCompleted:   s.jobsCompleted.Load(),
+		JobsCancelled:   s.jobsCancelled.Load(),
+		ServedFromCache: s.servedFromCache.Load(),
+		Obligations:     make(map[string]ObligationStats),
+	}
+	s.obMu.Lock()
+	defer s.obMu.Unlock()
+	for id, agg := range s.obStats {
+		o := ObligationStats{Runs: agg.runs, TotalNs: agg.totalNs, MaxNs: agg.maxNs}
+		if agg.runs > 0 {
+			o.MeanNs = agg.totalNs / agg.runs
+		}
+		st.Obligations[string(id)] = o
+	}
+	return st
+}

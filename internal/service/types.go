@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/statespace"
+	"repro/internal/verify"
+)
+
+// Request is one verification submission: a policy given either by
+// registered name or as DSL source, a bounded universe (nil selects the
+// verifier's default 3-core/5-thread universe), and an optional
+// obligation subset (nil means all eight).
+type Request struct {
+	// Policy names a registered policy.Spec (mutually exclusive with
+	// Source).
+	Policy string `json:"policy,omitempty"`
+	// Source is DSL policy source (mutually exclusive with Policy).
+	Source string `json:"source,omitempty"`
+	// Universe bounds the state space; nil means the default universe.
+	Universe *UniverseSpec `json:"universe,omitempty"`
+	// Obligations restricts the checked obligations; nil means all.
+	Obligations []string `json:"obligations,omitempty"`
+}
+
+// universe resolves the request's universe, defaulting like the
+// verifier does.
+func (r Request) universe() statespace.Universe {
+	if r.Universe == nil {
+		return verify.DefaultUniverse()
+	}
+	return r.Universe.Universe()
+}
+
+// UniverseSpec is the wire form of statespace.Universe.
+type UniverseSpec struct {
+	Cores              int     `json:"cores"`
+	MaxPerCore         int     `json:"max_per_core"`
+	MaxTotal           int     `json:"max_total,omitempty"`
+	Weights            []int64 `json:"weights,omitempty"`
+	IncludeUnscheduled bool    `json:"include_unscheduled"`
+	Groups             []int   `json:"groups,omitempty"`
+}
+
+// Universe converts the wire form.
+func (u UniverseSpec) Universe() statespace.Universe {
+	return statespace.Universe{
+		Cores:              u.Cores,
+		MaxPerCore:         u.MaxPerCore,
+		MaxTotal:           u.MaxTotal,
+		Weights:            u.Weights,
+		IncludeUnscheduled: u.IncludeUnscheduled,
+		Groups:             u.Groups,
+	}
+}
+
+// UniverseSpecOf converts a statespace.Universe to its wire form.
+func UniverseSpecOf(u statespace.Universe) UniverseSpec {
+	return UniverseSpec{
+		Cores:              u.Cores,
+		MaxPerCore:         u.MaxPerCore,
+		MaxTotal:           u.MaxTotal,
+		Weights:            u.Weights,
+		IncludeUnscheduled: u.IncludeUnscheduled,
+		Groups:             u.Groups,
+	}
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job is one queued or executed verification. Handles stay pollable
+// after completion (up to the retention bound).
+type Job struct {
+	id       string
+	sub      *submission
+	ctx      context.Context
+	cancelFn func()
+
+	mu        sync.Mutex
+	state     JobState
+	report    *verify.Report
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the job's handle.
+func (j *Job) ID() string { return j.id }
+
+// Cancel aborts the job: queued jobs never run, running jobs stop at
+// the driver's next cancellation poll. Idempotent.
+func (j *Job) Cancel() { j.cancelFn() }
+
+// Snapshot returns the job's current state, its report (non-nil only
+// when done) and its error message (non-empty only when cancelled).
+func (j *Job) Snapshot() (JobState, *verify.Report, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.report, j.errMsg
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool {
+	st, _, _ := j.Snapshot()
+	return st == JobDone || st == JobCancelled
+}
+
+// Stats is the /v1/stats snapshot.
+type Stats struct {
+	VerifierVersion string `json:"verifier_version"`
+	CacheHits       int64  `json:"cache_hits"`
+	CacheMisses     int64  `json:"cache_misses"`
+	CacheEntries    int    `json:"cache_entries"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity"`
+	JobsSubmitted   int64  `json:"jobs_submitted"`
+	JobsCoalesced   int64  `json:"jobs_coalesced"`
+	JobsCompleted   int64  `json:"jobs_completed"`
+	JobsCancelled   int64  `json:"jobs_cancelled"`
+	ServedFromCache int64  `json:"served_from_cache"`
+	// Obligations maps obligation ID to verification latency over cache
+	// misses (hits never run the checker).
+	Obligations map[string]ObligationStats `json:"obligations"`
+}
+
+// ObligationStats is per-obligation checker latency.
+type ObligationStats struct {
+	Runs    int64 `json:"runs"`
+	TotalNs int64 `json:"total_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}

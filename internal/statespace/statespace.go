@@ -55,6 +55,27 @@ func (u Universe) Validate() error {
 	return nil
 }
 
+// String renders the universe in the canonical single-line form used in
+// verify.Report headers: every field in declaration order, nil slices as
+// `[]`. Two universes with the same String enumerate the same states in
+// the same order.
+func (u Universe) String() string {
+	return fmt.Sprintf("universe{cores:%d maxPerCore:%d maxTotal:%d weights:%v unscheduled:%v groups:%v}",
+		u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups)
+}
+
+// Canonical is the universe's content identity for memoization: String
+// with the MaxTotal=0 shorthand expanded to its Cores*MaxPerCore
+// meaning, so the two spellings of the same state space hash alike.
+// (Report headers keep the submitted spelling; only cache keys use the
+// canonical form.)
+func (u Universe) Canonical() string {
+	if u.MaxTotal == 0 {
+		u.MaxTotal = u.Cores * u.MaxPerCore
+	}
+	return u.String()
+}
+
 // Size returns the number of states Enumerate will produce. It mirrors
 // Enumerate's loop structure rather than a closed formula so the two can
 // never disagree.

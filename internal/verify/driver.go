@@ -129,18 +129,48 @@ func mergeResults(id ObligationID, parts []Result) Result {
 	return merged
 }
 
+// RunObligation checks a single obligation under cfg and returns its
+// merged Result — the per-obligation entry point the incremental
+// verification service (internal/service) memoizes. It is PolicyContext
+// restricted to one obligation: the same shard partition, the same
+// deterministic merge, so the Result for an obligation is byte-for-byte
+// the entry PolicyContext would put in a full report. cfg.Obligations is
+// ignored; cfg.Sequential and cfg.Parallelism govern the shard fan-out
+// exactly as in PolicyContext. Panics on unknown obligations, like
+// PolicyContext.
+func RunObligation(ctx context.Context, id ObligationID, f Factory, cfg Config) Result {
+	if !KnownObligation(id) {
+		panic(fmt.Sprintf("verify: unknown obligation %q", id))
+	}
+	u := cfg.Universe
+	if u.Cores == 0 {
+		u = DefaultUniverse()
+	}
+	total := shardTotal()
+	parts := make([]Result, total)
+	if cfg.Sequential {
+		for s := range parts {
+			parts[s] = shardCheck(ctx, id, f, u, cfg.MaxRounds, shard{s, total})
+		}
+		return mergeResults(id, parts)
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	forEachTask(total, workers, func(s int) {
+		parts[s] = shardCheck(ctx, id, f, u, cfg.MaxRounds, shard{s, total})
+	})
+	return mergeResults(id, parts)
+}
+
 // runObligation runs one obligation's full shard fan-out on a pool of
 // GOMAXPROCS workers and merges. The standalone Check* entry points
 // route through here — so they call the factory concurrently; see
 // Factory — while the suite driver (PolicyContext) instead shares one
 // pool across all selected obligations.
 func runObligation(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int) Result {
-	total := shardTotal()
-	parts := make([]Result, total)
-	forEachTask(total, runtime.GOMAXPROCS(0), func(s int) {
-		parts[s] = shardCheck(ctx, id, f, u, maxRounds, shard{s, total})
-	})
-	return mergeResults(id, parts)
+	return RunObligation(ctx, id, f, Config{Universe: u, MaxRounds: maxRounds})
 }
 
 // forEachTask runs fn(i) for i in [0, n) with at most `workers`

@@ -1,0 +1,39 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file defines the deterministic JSON encoding of verification
+// reports — the one wire format shared by `schedverify -json`, the
+// schedverifyd daemon and the optsched.VerifyClient, so CLI output and
+// service responses are byte-diffable. Determinism comes for free from
+// encoding/json over plain structs (fields emit in declaration order)
+// plus the omitempty tags on Result's conditional fields; nothing here
+// may switch to map-backed or reflection-ordered encodings.
+
+// ReportJSON renders r in the canonical indented JSON encoding. Two
+// reports with equal contents always produce identical bytes, so a
+// memoized report replayed from the result cache is byte-identical to
+// the cold run that produced it.
+func ReportJSON(r *Report) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ReportFromJSON decodes a report encoded by ReportJSON (or the compact
+// form embedded in schedverifyd responses). It rejects trailing garbage
+// and unknown obligation IDs, so a client cannot silently accept a
+// response from an incompatible server.
+func ReportFromJSON(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("verify: bad report JSON: %w", err)
+	}
+	for _, res := range r.Results {
+		if !KnownObligation(res.ID) {
+			return nil, fmt.Errorf("verify: report names unknown obligation %q", res.ID)
+		}
+	}
+	return &r, nil
+}

@@ -44,29 +44,32 @@ const (
 	ObReactivity         ObligationID = "reactivity"
 )
 
-// Result is the outcome of checking one obligation.
+// Result is the outcome of checking one obligation. The json tags define
+// the deterministic wire encoding (see ReportJSON): field order follows
+// the struct declaration, and fields that are zero on passing sequential
+// obligations (witness, schedule count, bound, aborted) are omitted.
 type Result struct {
 	// ID identifies the obligation.
-	ID ObligationID
+	ID ObligationID `json:"id"`
 	// Passed reports whether the obligation holds over the whole
 	// universe.
-	Passed bool
+	Passed bool `json:"passed"`
 	// Aborted reports that the check was cut short by context
 	// cancellation: Passed is false but nothing was refuted, and the
 	// counts below cover only the part of the universe visited.
-	Aborted bool
+	Aborted bool `json:"aborted,omitempty"`
 	// Witness describes the first violating state/schedule when the
 	// obligation fails; empty otherwise.
-	Witness string
+	Witness string `json:"witness,omitempty"`
 	// StatesChecked counts the machine states examined.
-	StatesChecked int
+	StatesChecked int `json:"states_checked"`
 	// SchedulesChecked counts (state, steal-order) pairs examined by the
 	// concurrent obligations; zero for sequential ones.
-	SchedulesChecked int
+	SchedulesChecked int `json:"schedules_checked,omitempty"`
 	// Bound carries the obligation's quantitative finding, when one
 	// exists: the worst-case N for the work-conservation obligations,
 	// zero otherwise.
-	Bound int
+	Bound int `json:"bound,omitempty"`
 
 	// order is the witness's global enumeration rank (the index of its
 	// thread-count vector in statespace.Universe.Enumerate order). The
@@ -103,11 +106,11 @@ func (r Result) String() string {
 // Report aggregates obligation results for one policy.
 type Report struct {
 	// Policy is the verified policy's name.
-	Policy string
+	Policy string `json:"policy"`
 	// Universe describes the bounded state space the checks ran over.
-	Universe string
+	Universe string `json:"universe"`
 	// Results holds one entry per checked obligation.
-	Results []Result
+	Results []Result `json:"results"`
 }
 
 // Passed reports whether every obligation holds.

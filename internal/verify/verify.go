@@ -8,6 +8,14 @@ import (
 	"repro/internal/statespace"
 )
 
+// Version identifies the checker's semantics for content-addressed
+// memoization: it is one ingredient of every schedverifyd cache key, so
+// cached verdicts can never be replayed across incompatible checkers.
+// Bump it whenever any obligation's verdicts, counters, bounds or
+// witness text can change — shard-merge changes included, since reports
+// are defined to be byte-identical across parallelism levels.
+const Version = "optsched-verify/2"
+
 // Config parameterizes a verification run.
 type Config struct {
 	// Universe is the bounded state space to quantify over.
@@ -109,9 +117,8 @@ func PolicyContext(ctx context.Context, name string, f Factory, cfg Config) (*Re
 		}
 	}
 	rep := &Report{
-		Policy: name,
-		Universe: fmt.Sprintf("universe{cores:%d maxPerCore:%d maxTotal:%d weights:%v unscheduled:%v groups:%v}",
-			u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups),
+		Policy:   name,
+		Universe: u.String(),
 	}
 	rep.Results = make([]Result, len(obligations))
 	total := shardTotal()
