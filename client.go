@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/service"
@@ -25,7 +28,8 @@ type (
 	// VerifyUniverse is the wire form of a bounded universe.
 	VerifyUniverse = service.UniverseSpec
 	// VerifyStats is the service's /v1/stats snapshot: cache hit/miss
-	// counters, queue depth and per-obligation checker latency.
+	// counters, queue depth, per-obligation checker latency and — when
+	// the daemon runs with -data-dir — the durable store's counters.
 	VerifyStats = service.Stats
 	// VerifyService is the embeddable incremental verifier behind
 	// cmd/schedverifyd.
@@ -35,29 +39,68 @@ type (
 )
 
 // NewVerifyService starts an in-process incremental verifier — the
-// engine cmd/schedverifyd serves over HTTP. Close it when done.
+// engine cmd/schedverifyd serves over HTTP. Close it when done. It
+// returns an error only when VerifyServiceConfig.DataDir names an
+// unusable durable-store directory (corruption there recovers, it never
+// errors).
 var NewVerifyService = service.New
 
 // VerifyServiceUniverse converts a Universe to its wire form.
 var VerifyServiceUniverse = service.UniverseSpecOf
 
+// ErrCircuitOpen is returned by VerifyClient when its circuit breaker
+// is open: enough consecutive request failures (transport errors or
+// 5xx responses) that the daemon is presumed down, so calls fail fast
+// instead of hammering it. The breaker half-opens after
+// BreakerCooldown; a Cluster built with WithVerifyService falls back to
+// local in-process verification while the breaker is open.
+var ErrCircuitOpen = errors.New("optsched: verify service circuit breaker open")
+
 // VerifyClient talks to a running schedverifyd daemon — the fourth way
 // to verify a policy, next to Cluster.Verify, optsched.Verify and the
-// schedverify CLI. The zero value is not usable; set BaseURL.
+// schedverify CLI. The zero value is not usable; set BaseURL. A client
+// is safe for concurrent use and should be reused: the circuit breaker
+// accumulates state across calls.
 //
-// Verify submits and blocks until a verdict: memoized submissions
-// return on the first round trip, queued jobs are polled at
-// PollInterval, and 429 backpressure responses are retried after the
-// server's advertised Retry-After delay. The returned Report is decoded
-// from the daemon's deterministic JSON encoding, so re-encoding it with
-// ReportToJSON reproduces the server's bytes exactly.
+// Verify submits and blocks until a verdict, resiliently:
+//
+//   - Queued jobs are polled with jittered exponential backoff from
+//     PollInterval up to MaxPollInterval, not at a fixed interval.
+//   - 429 backpressure honors the server's Retry-After (jittered).
+//   - Transport errors and 5xx responses retry with jittered backoff
+//     until the circuit breaker opens (BreakerThreshold consecutive
+//     failures), after which calls return ErrCircuitOpen immediately
+//     until BreakerCooldown elapses and a half-open probe succeeds.
+//   - A ctx deadline propagates to the daemon (Request.TimeoutMs), so
+//     a queued job dies server-side when its client stops caring.
+//
+// The returned Report is decoded from the daemon's deterministic JSON
+// encoding, so re-encoding it with ReportToJSON reproduces the server's
+// bytes exactly.
 type VerifyClient struct {
 	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8377".
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
-	// PollInterval is the job-poll spacing (default 25ms).
+	// PollInterval is the initial job-poll spacing (default 25ms); each
+	// subsequent poll backs off exponentially with full jitter.
 	PollInterval time.Duration
+	// MaxPollInterval caps the poll backoff (default 2s).
+	MaxPollInterval time.Duration
+	// RetryBase is the initial backoff after a failed request
+	// (default 100ms); it doubles per consecutive failure, jittered,
+	// capped at MaxPollInterval.
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe (default 10s).
+	BreakerCooldown time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
 }
 
 func (c *VerifyClient) httpClient() *http.Client {
@@ -74,55 +117,193 @@ func (c *VerifyClient) pollInterval() time.Duration {
 	return 25 * time.Millisecond
 }
 
+func (c *VerifyClient) maxPollInterval() time.Duration {
+	if c.MaxPollInterval > 0 {
+		return c.MaxPollInterval
+	}
+	return 2 * time.Second
+}
+
+func (c *VerifyClient) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *VerifyClient) breakerThreshold() int {
+	if c.BreakerThreshold > 0 {
+		return c.BreakerThreshold
+	}
+	return 5
+}
+
+func (c *VerifyClient) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 10 * time.Second
+}
+
+// backoffDelay is the attempt-th (0-based) delay of an exponential
+// backoff from base, capped, with full jitter in [d/2, d): retries from
+// many clients spread out instead of thundering in lockstep.
+func backoffDelay(attempt int, base, cap time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int64N(int64(half)))
+	}
+	return d
+}
+
+// breakerOpen reports whether calls must fail fast right now. After the
+// cooldown it lets one probe through (half-open): the failure count
+// stays at the threshold, so the next recordFailure re-opens
+// immediately and the next recordSuccess closes fully.
+func (c *VerifyClient) breakerOpen() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fails >= c.breakerThreshold() && time.Now().Before(c.openUntil)
+}
+
+// recordFailure counts one failed request and reports whether the
+// breaker is now open.
+func (c *VerifyClient) recordFailure() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails++
+	if c.fails >= c.breakerThreshold() {
+		c.openUntil = time.Now().Add(c.breakerCooldown())
+		return true
+	}
+	return false
+}
+
+func (c *VerifyClient) recordSuccess() {
+	c.mu.Lock()
+	c.fails = 0
+	c.openUntil = time.Time{}
+	c.mu.Unlock()
+}
+
 // Verify submits req and blocks until the daemon produces a report,
 // honoring ctx throughout (a cancelled poll loop also cancels the
-// remote job — queued work is not left behind).
+// remote job — queued work is not left behind). See the type comment
+// for the retry, backoff and circuit-breaker behavior.
 func (c *VerifyClient) Verify(ctx context.Context, req VerifyRequest) (*Report, error) {
+	if deadline, ok := ctx.Deadline(); ok && req.TimeoutMs == 0 {
+		if remain := time.Until(deadline); remain > 0 {
+			req.TimeoutMs = int64(remain / time.Millisecond)
+		}
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("optsched: encoding verify request: %w", err)
 	}
+	attempt := 0
 	for {
+		if c.breakerOpen() {
+			return nil, fmt.Errorf("%w (%s)", ErrCircuitOpen, c.BaseURL)
+		}
 		resp, err := c.do(ctx, http.MethodPost, "/v1/verify", body)
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			if c.recordFailure() {
+				return nil, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, err)
+			}
+			if err := sleepCtx(ctx, backoffDelay(attempt, c.retryBase(), c.maxPollInterval())); err != nil {
+				return nil, err
+			}
+			attempt++
+			continue
 		}
-		switch resp.code {
-		case http.StatusOK:
+		switch {
+		case resp.code == http.StatusOK:
+			c.recordSuccess()
 			return decodeReport(resp.envelope)
-		case http.StatusAccepted:
+		case resp.code == http.StatusAccepted:
+			c.recordSuccess()
 			return c.poll(ctx, resp.envelope.Poll, resp.envelope.JobID)
-		case http.StatusTooManyRequests:
-			if err := sleepCtx(ctx, resp.retryAfter); err != nil {
+		case resp.code == http.StatusTooManyRequests:
+			// Backpressure is health, not failure: obey the server's
+			// Retry-After (plus jitter so resubmissions spread out) and
+			// leave the breaker alone.
+			if err := sleepCtx(ctx, jitter(resp.retryAfter)); err != nil {
 				return nil, err
 			}
 			continue
+		case resp.code >= 500:
+			if c.recordFailure() {
+				return nil, fmt.Errorf("%w (last response: %s)", ErrCircuitOpen, resp.errMsg())
+			}
+			if err := sleepCtx(ctx, backoffDelay(attempt, c.retryBase(), c.maxPollInterval())); err != nil {
+				return nil, err
+			}
+			attempt++
+			continue
 		default:
+			// 4xx: the request itself is bad; retrying cannot help.
 			return nil, fmt.Errorf("optsched: verify service: %s", resp.errMsg())
 		}
 	}
 }
 
-// poll drives one queued job to completion.
+// jitter spreads d over [d/2, 3d/2).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// poll drives one queued job to completion with jittered exponential
+// backoff between polls.
 func (c *VerifyClient) poll(ctx context.Context, pollURL, jobID string) (*Report, error) {
 	if pollURL == "" {
 		pollURL = "/v1/jobs/" + jobID
 	}
+	attempt := 0
 	for {
-		if err := sleepCtx(ctx, c.pollInterval()); err != nil {
-			// Best-effort remote cancellation; the poller is gone either way.
-			cancelCtx, cancel := context.WithTimeout(context.Background(), time.Second)
-			c.do(cancelCtx, http.MethodDelete, pollURL, nil)
-			cancel()
+		if err := sleepCtx(ctx, backoffDelay(attempt, c.pollInterval(), c.maxPollInterval())); err != nil {
+			c.cancelRemote(pollURL)
 			return nil, err
+		}
+		attempt++
+		if c.breakerOpen() {
+			c.cancelRemote(pollURL)
+			return nil, fmt.Errorf("%w (abandoning job %s)", ErrCircuitOpen, jobID)
 		}
 		resp, err := c.do(ctx, http.MethodGet, pollURL, nil)
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				c.cancelRemote(pollURL)
+				return nil, err
+			}
+			if c.recordFailure() {
+				c.cancelRemote(pollURL)
+				return nil, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, err)
+			}
+			continue
 		}
-		if resp.code != http.StatusOK {
+		switch {
+		case resp.code >= 500:
+			if c.recordFailure() {
+				c.cancelRemote(pollURL)
+				return nil, fmt.Errorf("%w (last response: %s)", ErrCircuitOpen, resp.errMsg())
+			}
+			continue
+		case resp.code != http.StatusOK:
 			return nil, fmt.Errorf("optsched: verify service: %s", resp.errMsg())
 		}
+		c.recordSuccess()
 		switch resp.envelope.Status {
 		case string(service.JobDone):
 			return decodeReport(resp.envelope)
@@ -130,6 +311,14 @@ func (c *VerifyClient) poll(ctx context.Context, pollURL, jobID string) (*Report
 			return nil, fmt.Errorf("optsched: verify job %s cancelled: %s", jobID, resp.envelope.Error)
 		}
 	}
+}
+
+// cancelRemote best-effort cancels an abandoned job so queued work is
+// not left behind.
+func (c *VerifyClient) cancelRemote(pollURL string) {
+	cancelCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	c.do(cancelCtx, http.MethodDelete, pollURL, nil)
+	cancel()
 }
 
 // Stats fetches the daemon's counter snapshot.
@@ -153,11 +342,29 @@ func (c *VerifyClient) Stats(ctx context.Context) (*VerifyStats, error) {
 	return &st, nil
 }
 
+// FlushCache performs the daemon's admin cache flush (DELETE /v1/cache)
+// and returns how many memoized results were dropped.
+func (c *VerifyClient) FlushCache(ctx context.Context) (int, error) {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/cache", nil)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		Flushed int    `json:"flushed"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal(resp.raw, &out); err != nil || resp.code != http.StatusOK {
+		return out.Flushed, fmt.Errorf("optsched: cache flush: %s", resp.errMsg())
+	}
+	return out.Flushed, nil
+}
+
 // clientResp is one decoded daemon response.
 type clientResp struct {
 	code       int
 	envelope   service.SubmitResponse
 	retryAfter time.Duration
+	raw        []byte
 	rawError   string
 }
 
@@ -192,7 +399,7 @@ func (c *VerifyClient) do(ctx context.Context, method, path string, body []byte)
 	if err != nil {
 		return nil, err
 	}
-	resp := &clientResp{code: httpResp.StatusCode}
+	resp := &clientResp{code: httpResp.StatusCode, raw: data}
 	if ra := httpResp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
 			resp.retryAfter = time.Duration(secs) * time.Second

@@ -1,0 +1,240 @@
+package optsched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/verify"
+)
+
+// doneEnvelope renders the daemon's 200 response for a minimal finished
+// report.
+func doneEnvelope(t *testing.T) []byte {
+	t.Helper()
+	rep := &verify.Report{
+		Policy:   "p",
+		Universe: "u",
+		Results:  []verify.Result{{ID: verify.ObLemma1, Passed: true, StatesChecked: 7}},
+	}
+	raw, err := verify.ReportJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passed := true
+	env, err := json.Marshal(service.SubmitResponse{Status: "done", Cached: true, Passed: &passed, Report: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// fastClient returns a client tuned so retry loops resolve in
+// milliseconds.
+func fastClient(baseURL string) *VerifyClient {
+	return &VerifyClient{
+		BaseURL:          baseURL,
+		PollInterval:     time.Millisecond,
+		MaxPollInterval:  4 * time.Millisecond,
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+	}
+}
+
+func TestVerifyClientBreakerOpensAndFailsFast(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	_, err := c.Verify(context.Background(), VerifyRequest{Policy: "delta2"})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Verify against a failing daemon returned %v, want ErrCircuitOpen", err)
+	}
+	if got := hits.Load(); got != int64(c.BreakerThreshold) {
+		t.Errorf("breaker opened after %d requests, want %d", got, c.BreakerThreshold)
+	}
+	// While open, calls fail fast without touching the daemon.
+	if _, err := c.Verify(context.Background(), VerifyRequest{Policy: "delta2"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v", err)
+	}
+	if got := hits.Load(); got != int64(c.BreakerThreshold) {
+		t.Errorf("open breaker still sent a request (%d total)", got)
+	}
+}
+
+func TestVerifyClientBreakerHalfOpenRecovery(t *testing.T) {
+	env := doneEnvelope(t)
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write(env)
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	c.BreakerThreshold = 2
+	c.BreakerCooldown = 20 * time.Millisecond
+	if _, err := c.Verify(context.Background(), VerifyRequest{Policy: "delta2"}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("first Verify returned %v, want ErrCircuitOpen", err)
+	}
+	time.Sleep(30 * time.Millisecond) // past the cooldown: half-open
+	rep, err := c.Verify(context.Background(), VerifyRequest{Policy: "delta2"})
+	if err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if rep.Policy != "p" || !rep.Passed() {
+		t.Errorf("recovered report %+v", rep)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("recovery took %d requests, want 3 (2 failures + 1 probe)", hits.Load())
+	}
+	if c.fails != 0 {
+		t.Errorf("successful probe left the breaker at %d failures, want fully closed", c.fails)
+	}
+}
+
+func TestVerifyClientHonorsRetryAfterOn429(t *testing.T) {
+	env := doneEnvelope(t)
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write(env)
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	start := time.Now()
+	rep, err := c.Verify(context.Background(), VerifyRequest{Policy: "delta2"})
+	if err != nil || !rep.Passed() {
+		t.Fatalf("Verify after backpressure: rep=%v err=%v", rep, err)
+	}
+	// The jittered Retry-After sleep is in [500ms, 1.5s).
+	if took := time.Since(start); took < 450*time.Millisecond {
+		t.Errorf("resubmitted after %v, ignoring Retry-After: 1", took)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("429 handling took %d requests, want 2", hits.Load())
+	}
+	if c.fails != 0 {
+		t.Errorf("backpressure counted as %d failures toward the breaker, want 0", c.fails)
+	}
+}
+
+func TestVerifyClientPollsQueuedJobWithBackoff(t *testing.T) {
+	env := doneEnvelope(t)
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.SubmitResponse{Status: "queued", JobID: "j-1", Poll: "/v1/jobs/j-1"})
+	})
+	mux.HandleFunc("GET /v1/jobs/j-1", func(w http.ResponseWriter, _ *http.Request) {
+		if polls.Add(1) < 3 {
+			json.NewEncoder(w).Encode(service.SubmitResponse{Status: "running", JobID: "j-1"})
+			return
+		}
+		w.Write(env)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := fastClient(srv.URL).Verify(context.Background(), VerifyRequest{Policy: "delta2"})
+	if err != nil || !rep.Passed() {
+		t.Fatalf("queued flow: rep=%v err=%v", rep, err)
+	}
+	if polls.Load() != 3 {
+		t.Errorf("job polled %d times, want 3", polls.Load())
+	}
+}
+
+func TestVerifyClientPropagatesContextDeadline(t *testing.T) {
+	env := doneEnvelope(t)
+	var got service.Request
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewDecoder(r.Body).Decode(&got)
+		w.Write(env)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := fastClient(srv.URL).Verify(ctx, VerifyRequest{Policy: "delta2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeoutMs <= 0 || got.TimeoutMs > 5000 {
+		t.Errorf("request carried timeout_ms=%d, want the ctx deadline (0 < ms <= 5000)", got.TimeoutMs)
+	}
+}
+
+func TestVerifyClientRejects4xxWithoutRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"unknown policy"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	_, err := fastClient(srv.URL).Verify(context.Background(), VerifyRequest{Policy: "nope"})
+	if err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("bad request returned %v, want a permanent non-breaker error", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("4xx retried: %d requests, want 1", hits.Load())
+	}
+}
+
+func TestVerifyClientFlushCache(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodDelete || r.URL.Path != "/v1/cache" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"flushed": 7}`))
+	}))
+	defer srv.Close()
+	n, err := fastClient(srv.URL).FlushCache(context.Background())
+	if err != nil || n != 7 {
+		t.Errorf("FlushCache = %d, %v, want 7, nil", n, err)
+	}
+}
+
+func TestBackoffDelayAndJitterBounds(t *testing.T) {
+	base, cap := 100*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt <= 8; attempt++ {
+		raw := base * (1 << attempt)
+		if raw > cap {
+			raw = cap
+		}
+		for i := 0; i < 100; i++ {
+			if d := backoffDelay(attempt, base, cap); d < raw/2 || d >= raw {
+				t.Fatalf("backoffDelay(%d) = %v outside [%v, %v)", attempt, d, raw/2, raw)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if d := jitter(time.Second); d < 500*time.Millisecond || d >= 1500*time.Millisecond {
+			t.Fatalf("jitter(1s) = %v outside [500ms, 1.5s)", d)
+		}
+	}
+	if jitter(0) != 0 {
+		t.Error("jitter(0) != 0")
+	}
+}

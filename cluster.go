@@ -2,6 +2,7 @@ package optsched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/dsl"
@@ -50,8 +51,9 @@ type Cluster struct {
 	hasUniverse bool
 	obligations []verify.ObligationID
 	ring        *trace.Ring
-	dslSource   string // set when the policy came from WithDSL
-	verifyURL   string // set by WithVerifyService: Verify delegates here
+	dslSource    string // set when the policy came from WithDSL
+	verifyURL    string // set by WithVerifyService: Verify delegates here
+	verifyClient *VerifyClient
 }
 
 // options accumulates the functional options before validation.
@@ -226,6 +228,15 @@ func WithTrace(ring *TraceRing) Option {
 // returns without re-running any checker, and an edited policy re-runs
 // only the obligations the edit invalidates.
 //
+// The delegation is resilient: the cluster keeps one VerifyClient
+// (retries with jittered backoff, honors Retry-After, circuit breaker —
+// see VerifyClient) across Verify calls, and when the breaker is open —
+// the daemon is down or persistently failing — Verify transparently
+// falls back to local in-process verification. Reports are
+// byte-identical either way, so the fallback is observable only through
+// latency and the daemon's stats. Tune the resilience knobs through
+// VerifyServiceClient before the first Verify.
+//
 // Only registry policies (WithPolicy) and DSL policies (WithDSL) can be
 // shipped over the wire; WithPolicyFactory closures cannot, and the
 // combination is rejected by New. Registry policies are resolved
@@ -375,6 +386,9 @@ func New(opts ...Option) (*Cluster, error) {
 	if c.maxRounds == 0 {
 		c.maxRounds = 1000
 	}
+	if c.verifyURL != "" {
+		c.verifyClient = &VerifyClient{BaseURL: c.verifyURL}
+	}
 	return &c, nil
 }
 
@@ -467,6 +481,12 @@ func (c *Cluster) Verify(ctx context.Context) (*Report, error) {
 	if c.verifyURL != "" {
 		return c.verifyRemote(ctx)
 	}
+	return c.verifyLocal(ctx)
+}
+
+// verifyLocal is the in-process verification path — the default, and
+// the fallback when the verify-service circuit breaker is open.
+func (c *Cluster) verifyLocal(ctx context.Context) (*Report, error) {
 	cfg := verify.Config{MaxRounds: c.maxRounds, Obligations: c.obligations, Parallelism: c.parallelism}
 	if c.hasUniverse {
 		cfg.Universe = c.universe
@@ -505,6 +525,19 @@ func (c *Cluster) verifyRemote(ctx context.Context) (*Report, error) {
 	for _, id := range c.obligations {
 		req.Obligations = append(req.Obligations, string(id))
 	}
-	client := &VerifyClient{BaseURL: c.verifyURL}
-	return client.Verify(ctx, req)
+	rep, err := c.verifyClient.Verify(ctx, req)
+	if errors.Is(err, ErrCircuitOpen) {
+		// The daemon is down or persistently failing: the session still
+		// owes its caller a verdict, and the local driver produces the
+		// byte-identical report (only slower, with no memoization).
+		return c.verifyLocal(ctx)
+	}
+	return rep, err
 }
+
+// VerifyServiceClient returns the shared resilient client behind
+// WithVerifyService (nil without that option). Its backoff and breaker
+// knobs may be tuned before the first Verify; the client must be reused
+// as-is afterwards, since the circuit breaker accumulates state across
+// calls.
+func (c *Cluster) VerifyServiceClient() *VerifyClient { return c.verifyClient }

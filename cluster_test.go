@@ -1,11 +1,15 @@
 package optsched
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/service"
 )
 
 // TestClusterRunAcrossBackends is the API's core promise: one fixed
@@ -329,5 +333,89 @@ func TestBackendByName(t *testing.T) {
 	}
 	if _, err := BackendByName("kernel"); err == nil {
 		t.Error("unknown backend accepted")
+	}
+}
+
+// TestClusterVerifyServiceRoundTrip delegates Verify to an in-process
+// schedverifyd and pins the remote path's contract: the report is
+// byte-identical to local verification, and a second Verify is served
+// entirely from the daemon's memo.
+func TestClusterVerifyServiceRoundTrip(t *testing.T) {
+	svc := service.MustNew(service.Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	obligations := []ObligationID{"lemma1", "steal-soundness"}
+	local, err := New(WithPolicy("delta2"), WithObligations(obligations...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRep, err := local.Verify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := ReportToJSON(localRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote, err := New(WithPolicy("delta2"), WithObligations(obligations...),
+		WithVerifyService(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := remote.Verify(context.Background())
+		if err != nil {
+			t.Fatalf("remote Verify %d: %v", i, err)
+		}
+		remoteJSON, err := ReportToJSON(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(localJSON, remoteJSON) {
+			t.Fatalf("remote report %d differs from local:\nlocal:\n%s\nremote:\n%s", i, localJSON, remoteJSON)
+		}
+	}
+	if st := svc.Stats(); st.ServedFromCache != 1 {
+		t.Errorf("second remote Verify was not a pure cache hit: %+v", st)
+	}
+}
+
+// TestClusterVerifyServiceFallback pins the resilience contract of
+// WithVerifyService: when the daemon is unreachable and the circuit
+// breaker opens, Verify falls back to local in-process verification and
+// still returns a valid report.
+func TestClusterVerifyServiceFallback(t *testing.T) {
+	c, err := New(WithPolicy("delta2"), WithObligations("lemma1", "steal-soundness"),
+		WithVerifyService("http://127.0.0.1:1")) // nothing listens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := c.VerifyServiceClient()
+	if vc == nil {
+		t.Fatal("WithVerifyService did not install a client")
+	}
+	vc.BreakerThreshold = 2
+	vc.RetryBase = time.Millisecond
+	vc.MaxPollInterval = 4 * time.Millisecond
+	vc.BreakerCooldown = time.Hour
+
+	rep, err := c.Verify(context.Background())
+	if err != nil {
+		t.Fatalf("Verify with a dead daemon did not fall back locally: %v", err)
+	}
+	if !rep.Passed() || len(rep.Results) != 2 {
+		t.Errorf("fallback report invalid:\n%s", rep)
+	}
+	// The breaker is open now: subsequent Verifies fail fast into the
+	// local path without waiting out retry backoffs.
+	start := time.Now()
+	if _, err := c.Verify(context.Background()); err != nil {
+		t.Fatalf("second fallback Verify: %v", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("open-breaker fallback took %v, want fail-fast", took)
 	}
 }

@@ -4,15 +4,28 @@
 // unchanged policy returns instantly and an edited policy re-runs only
 // the obligations the edit invalidates.
 //
-//	schedverifyd -addr :8377 -workers 2 -queue 64
+//	schedverifyd -addr :8377 -workers 2 -queue 64 -data-dir /var/lib/schedverifyd
+//
+// With -data-dir the memo is durable: every result is WAL-appended and
+// fsynced before it is served, periodically compacted into a snapshot,
+// and recovered at startup — a crashed or restarted daemon serves warm
+// verdicts byte-identically with zero obligation re-runs, truncating
+// (never replaying) any torn final write.
 //
 // API (see internal/service):
 //
 //	POST   /v1/verify     submit {"policy": "delta2"} or {"source": "policy ..."}
 //	GET    /v1/jobs/{id}  poll a queued job
 //	DELETE /v1/jobs/{id}  cancel a job
-//	GET    /v1/stats      cache and queue counters
+//	GET    /v1/stats      cache, queue and durable-store counters
+//	DELETE /v1/cache      admin flush of the memo (memory + disk)
 //	GET    /healthz       liveness
+//	GET    /readyz        readiness; 503 while draining toward shutdown
+//
+// On SIGTERM/SIGINT the daemon drains: /readyz flips to 503, new
+// submissions are rejected, in-flight jobs get -drain-timeout to
+// finish (polls keep working so clients can collect reports), then
+// whatever remains is cancelled.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/faultinject"
 )
 
 func main() {
@@ -45,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	parallel := fs.Int("parallel", 0, "per-job shard worker pool size (0 = GOMAXPROCS)")
 	maxRounds := fs.Int("maxrounds", 1000, "sequential work-conservation round bound")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
+	dataDir := fs.String("data-dir", "", "durable memo store directory (empty = in-memory only)")
+	compactEvery := fs.Int("compact-every", 0, "WAL records between snapshot compactions (0 = 256)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "in-flight job drain budget on SIGTERM before cancellation")
+	faultSpec := fs.String("faults", "", "hidden: fault-injection spec for chaos testing, e.g. 'wal-append:torn=5@2,checker:panic=lemma1' (see internal/service/faultinject)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,17 +70,28 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "schedverifyd: unexpected arguments %q\n", fs.Args())
 		return 2
 	}
+	faults, err := faultinject.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "schedverifyd: %v\n", err)
+		return 2
+	}
 
 	d, err := startDaemon(*addr, service.Config{
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		Parallelism: *parallel,
-		MaxRounds:   *maxRounds,
-		RetryAfter:  *retryAfter,
-	})
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		Parallelism:  *parallel,
+		MaxRounds:    *maxRounds,
+		RetryAfter:   *retryAfter,
+		DataDir:      *dataDir,
+		CompactEvery: *compactEvery,
+	}, service.WithFaults(faults))
 	if err != nil {
 		fmt.Fprintf(stderr, "schedverifyd: %v\n", err)
 		return 1
+	}
+	if st := d.svc.Stats().Store; st != nil {
+		fmt.Fprintf(stdout, "schedverifyd: durable memo at %s: %d results recovered (%d from snapshot, %d WAL records; %d bytes truncated as torn/corrupt)\n",
+			*dataDir, st.Entries, st.SnapshotEntries, st.WALRecords, st.TruncatedBytes)
 	}
 	fmt.Fprintf(stdout, "schedverifyd listening on http://%s\n", d.Addr())
 	if ready != nil {
@@ -73,7 +102,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		fmt.Fprintf(stdout, "schedverifyd: draining (budget %s)\n", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		d.Shutdown(shutdownCtx)
 	}()
@@ -94,8 +124,11 @@ type daemon struct {
 }
 
 // startDaemon binds the listener; Serve starts handling.
-func startDaemon(addr string, cfg service.Config) (*daemon, error) {
-	svc := service.New(cfg)
+func startDaemon(addr string, cfg service.Config, opts ...service.Option) (*daemon, error) {
+	svc, err := service.New(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		svc.Close()
@@ -120,9 +153,12 @@ func (d *daemon) Serve() error {
 	return err
 }
 
-// Shutdown drains in-flight HTTP exchanges, then cancels and drains the
-// verification workers.
+// Shutdown is the graceful exit: drain the verification workers within
+// ctx's budget (readyz flips to 503, polls keep answering so clients
+// collect finished reports), then stop the HTTP server and cancel
+// whatever outlived the deadline.
 func (d *daemon) Shutdown(ctx context.Context) {
+	d.svc.Drain(ctx)
 	d.srv.Shutdown(ctx)
 	d.svc.Close()
 }

@@ -115,3 +115,85 @@ func TestRunFlagErrors(t *testing.T) {
 		t.Errorf("stray-argument diagnostic missing: %q", errBuf.String())
 	}
 }
+
+// TestChaosDaemonWarmRestart is the PR's acceptance scenario end-to-end: a
+// daemon restarted onto a warm -data-dir recovers its memo and serves a
+// previously verified submission as a cache hit — zero obligation
+// re-runs, byte-identical report.
+func TestChaosDaemonWarmRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := service.Config{DataDir: dataDir}
+	req := optsched.VerifyRequest{Policy: "delta2", Obligations: []string{"lemma1", "steal-soundness"}}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	d1, err := startDaemon("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d1.Serve()
+	rep, err := (&optsched.VerifyClient{BaseURL: "http://" + d1.Addr(), PollInterval: 5 * time.Millisecond}).Verify(ctx, req)
+	if err != nil {
+		t.Fatalf("cold verify: %v", err)
+	}
+	coldJSON, err := optsched.ReportToJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	d1.Shutdown(shutdownCtx)
+	cancelShutdown()
+
+	// Second process lifetime over the same data directory.
+	d2, err := startDaemon("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d2.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d2.Shutdown(ctx)
+	}()
+	client := &optsched.VerifyClient{BaseURL: "http://" + d2.Addr(), PollInterval: 5 * time.Millisecond}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil || st.Store.RecoveredRecords != 2 {
+		t.Fatalf("restarted daemon recovered %+v, want 2 records", st.Store)
+	}
+	warm, err := client.Verify(ctx, req)
+	if err != nil {
+		t.Fatalf("warm verify: %v", err)
+	}
+	warmJSON, err := optsched.ReportToJSON(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("report across restart differs:\npre:\n%s\npost:\n%s", coldJSON, warmJSON)
+	}
+	st2, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheMisses != 0 {
+		t.Errorf("warm restart re-ran %d obligations, want 0", st2.CacheMisses)
+	}
+	if st2.ServedFromCache != 1 {
+		t.Errorf("warm submission not served from the recovered memo: %+v", st2)
+	}
+}
+
+// TestDaemonFaultFlag covers the hidden -faults flag surface: a bad
+// spec is a usage error, a good one arms the harness.
+func TestDaemonFaultFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-faults", "bogus:nope"}, &out, &errBuf, nil); code != 2 {
+		t.Errorf("bad -faults spec: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "faultinject") {
+		t.Errorf("bad-spec diagnostic missing: %q", errBuf.String())
+	}
+}

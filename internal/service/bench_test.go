@@ -41,7 +41,7 @@ func runAll(b *testing.B, s *Service, reqs []Request) {
 func BenchmarkVerifydColdMixed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		s := New(Config{})
+		s := MustNew(Config{})
 		b.StartTimer()
 		runAll(b, s, benchRequests())
 		b.StopTimer()
@@ -55,7 +55,7 @@ func BenchmarkVerifydColdMixed(b *testing.B) {
 // The cold/warm ratio is the service's headline speedup; the acceptance
 // bar is warm < 1% of cold.
 func BenchmarkVerifydWarmMixed(b *testing.B) {
-	s := New(Config{})
+	s := MustNew(Config{})
 	defer s.Close()
 	runAll(b, s, benchRequests())
 	start := s.Stats()

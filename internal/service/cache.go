@@ -26,8 +26,25 @@ type resultCache struct {
 	misses atomic.Int64
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{entries: make(map[string]verify.Result)}
+// newResultCache builds the cache, pre-populated with seed — the
+// entries the durable store recovered at startup (nil for a cold or
+// memory-only service).
+func newResultCache(seed map[string]verify.Result) *resultCache {
+	entries := make(map[string]verify.Result, len(seed))
+	for k, v := range seed {
+		entries[k] = v
+	}
+	return &resultCache{entries: entries}
+}
+
+// flush drops every entry and returns how many there were. The hit/miss
+// counters are cumulative and survive the flush.
+func (c *resultCache) flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[string]verify.Result)
+	return n
 }
 
 // peekAll reports whether every key is cached, without touching the

@@ -1,0 +1,299 @@
+package service
+
+// Chaos and crash-safety tests for the durable daemon: warm restarts,
+// torn WAL writes, checker panics, worker stalls, deadline propagation,
+// drain lifecycle and admin flushes. CI runs these under the
+// TestChaos|TestCrash|TestTorn|TestCheckerPanic|TestDrain|TestFlush
+// name filter — keep new chaos tests on those prefixes.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service/faultinject"
+	"repro/internal/verify"
+)
+
+// fastObligations is a 2-obligation subset that verifies in a few ms on
+// the default universe, so restart cycles stay cheap.
+var fastObligations = []string{"lemma1", "steal-soundness"}
+
+func newDurable(t *testing.T, dir string, opts ...Option) *Service {
+	t.Helper()
+	s, err := New(Config{DataDir: dir}, opts...)
+	if err != nil {
+		t.Fatalf("New(DataDir=%s): %v", dir, err)
+	}
+	return s
+}
+
+func reportJSON(t *testing.T, rep *verify.Report) []byte {
+	t.Helper()
+	data, err := verify.ReportJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The PR's acceptance bar: a daemon restarted onto a warm -data-dir
+// serves a previously verified submission as a cache hit — zero
+// obligation re-runs, byte-identical report.
+func TestCrashRestartWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Policy: "delta2", Obligations: fastObligations}
+
+	s1 := newDurable(t, dir)
+	coldJSON := reportJSON(t, submitWait(t, s1, req))
+	s1.Close()
+
+	s2 := newDurable(t, dir)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Store == nil || st.Store.RecoveredRecords != len(fastObligations) {
+		t.Fatalf("restart recovered %+v, want %d records", st.Store, len(fastObligations))
+	}
+	rep, job, err := s2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		waitDone(t, job)
+		t.Fatal("warm restart queued a job instead of serving from the recovered memo")
+	}
+	if got := s2.Stats().CacheMisses; got != 0 {
+		t.Errorf("warm restart ran %d obligations, want 0", got)
+	}
+	if warm := reportJSON(t, rep); !bytes.Equal(coldJSON, warm) {
+		t.Errorf("warm report differs from pre-restart verdict:\npre:\n%s\npost:\n%s", coldJSON, warm)
+	}
+}
+
+// A torn WAL write (the disk half of kill -9 mid-append) loses exactly
+// the torn record: the live service still reports from memory, the
+// restarted one re-runs only the lost obligation, and the re-run verdict
+// is byte-identical.
+func TestTornAppendHealedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{Policy: "delta2", Obligations: fastObligations}
+	faults := faultinject.New(faultinject.Rule{
+		Op: faultinject.OpWALAppend, Kind: faultinject.KindTorn, Bytes: 3, On: 2,
+	})
+
+	s1 := newDurable(t, dir, WithFaults(faults))
+	coldJSON := reportJSON(t, submitWait(t, s1, req))
+	st := s1.Stats().Store
+	if st.AppendErrors != 1 || st.TruncatedRecords != 1 || st.Disabled {
+		t.Fatalf("torn append not healed in place: %+v", st)
+	}
+	s1.Close()
+
+	s2 := newDurable(t, dir)
+	defer s2.Close()
+	if got := s2.Stats().Store.RecoveredRecords; got != 1 {
+		t.Fatalf("recovered %d records, want 1 (the torn one lost, its neighbor intact)", got)
+	}
+	warmJSON := reportJSON(t, submitWait(t, s2, req))
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("report after torn-write recovery differs:\npre:\n%s\npost:\n%s", coldJSON, warmJSON)
+	}
+	st2 := s2.Stats()
+	if st2.CacheHits != 1 || st2.CacheMisses != 1 {
+		t.Errorf("recovery re-ran %d obligations (hits=%d), want exactly the lost one",
+			st2.CacheMisses, st2.CacheHits)
+	}
+	if got := st2.Store.Entries; got != len(fastObligations) {
+		t.Errorf("store holds %d entries after the healing re-run, want %d", got, len(fastObligations))
+	}
+}
+
+// A panicking checker must not kill the daemon: the obligation comes
+// back ABORTED (and uncached), sibling obligations complete normally,
+// and a resubmission re-runs the crashed checker.
+func TestCheckerPanicContained(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{
+		Op: faultinject.OpChecker, Kind: faultinject.KindPanic, Match: "lemma1", On: 1,
+	})
+	s := MustNew(Config{}, WithFaults(faults))
+	defer s.Close()
+	req := Request{Policy: "delta2", Obligations: fastObligations}
+
+	rep := submitWait(t, s, req)
+	if len(rep.Results) != 2 {
+		t.Fatalf("report has %d results, want 2", len(rep.Results))
+	}
+	lemma, steal := rep.Results[0], rep.Results[1]
+	if !lemma.Aborted || !strings.Contains(lemma.Witness, "checker panic") {
+		t.Errorf("panicked obligation reported %+v, want ABORTED with a panic witness", lemma)
+	}
+	if !steal.Passed || steal.Aborted {
+		t.Errorf("sibling obligation disturbed by the panic: %+v", steal)
+	}
+	st := s.Stats()
+	if st.CheckerPanics != 1 {
+		t.Errorf("CheckerPanics = %d, want 1", st.CheckerPanics)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("aborted result was cached: %d entries, want 1", st.CacheEntries)
+	}
+
+	// The fault was one-shot: resubmitting re-runs lemma1 cleanly.
+	rep2 := submitWait(t, s, req)
+	if !rep2.Passed() {
+		t.Errorf("resubmission after the panic did not verify cleanly:\n%s", rep2)
+	}
+	if got := s.Stats().CacheEntries; got != 2 {
+		t.Errorf("cache has %d entries after the clean re-run, want 2", got)
+	}
+}
+
+// An injected worker stall delays the job without corrupting it.
+func TestChaosWorkerStall(t *testing.T) {
+	const stall = 60 * time.Millisecond
+	faults := faultinject.New(faultinject.Rule{
+		Op: faultinject.OpWorker, Kind: faultinject.KindStall, Delay: stall,
+	})
+	s := MustNew(Config{}, WithFaults(faults))
+	defer s.Close()
+
+	start := time.Now()
+	rep := submitWait(t, s, Request{Policy: "delta2", Obligations: []string{"lemma1"}})
+	if took := time.Since(start); took < stall {
+		t.Errorf("stalled job finished in %v, want >= %v", took, stall)
+	}
+	if !rep.Passed() {
+		t.Errorf("stalled job report:\n%s", rep)
+	}
+	if faults.Fired()["worker:stall"] != 1 {
+		t.Errorf("Fired() = %v, want one worker:stall", faults.Fired())
+	}
+}
+
+// A client-propagated deadline (Request.timeout_ms) bounds the job even
+// after the submit round-trip returned: the job cancels itself and
+// nothing half-finished is cached.
+func TestChaosDeadlinePropagation(t *testing.T) {
+	s := MustNew(Config{})
+	defer s.Close()
+	req := slowRequest()
+	req.TimeoutMs = 1
+
+	rep, job, err := s.Submit(req)
+	if err != nil || rep != nil {
+		t.Fatalf("Submit: rep=%v err=%v, want a queued job", rep, err)
+	}
+	rep2, errMsg := waitDone(t, job)
+	if rep2 != nil || !strings.Contains(errMsg, "cancelled") {
+		t.Fatalf("deadline-bounded job finished with report=%v err=%q, want cancellation", rep2, errMsg)
+	}
+	st := s.Stats()
+	// Obligations that completed before the deadline are legitimately
+	// cached (they are valid results); the suite as a whole must not be.
+	if st.JobsCancelled != 1 || st.CacheEntries >= len(verify.AllObligations()) {
+		t.Errorf("after deadline cancel: %d cancelled, %d cached, want 1 cancelled and a partial cache",
+			st.JobsCancelled, st.CacheEntries)
+	}
+}
+
+// Drain semantics: /readyz flips to 503 and submissions bounce with
+// ErrDraining, while polls keep answering and in-flight jobs run to
+// completion within the drain budget.
+func TestDrainLifecycle(t *testing.T) {
+	faults := faultinject.New(faultinject.Rule{
+		Op: faultinject.OpWorker, Kind: faultinject.KindStall, Delay: 100 * time.Millisecond,
+	})
+	s := MustNew(Config{Workers: 1}, WithFaults(faults))
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	statusOf := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := statusOf("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d", got)
+	}
+
+	_, job, err := s.Submit(Request{Policy: "delta2", Obligations: []string{"lemma1"}})
+	if err != nil || job == nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("Drain never flipped readiness")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := statusOf("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain = %d, want 503", got)
+	}
+	if got := statusOf("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200 (liveness is not readiness)", got)
+	}
+	if _, _, err := s.Submit(Request{Policy: "null"}); err != ErrDraining {
+		t.Errorf("submit during drain returned %v, want ErrDraining", err)
+	}
+	// Polls keep working so clients can collect reports mid-drain.
+	if got := statusOf("/v1/jobs/" + job.ID()); got != http.StatusOK {
+		t.Errorf("poll during drain = %d, want 200", got)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, rep, errMsg := job.Snapshot(); rep == nil {
+		t.Errorf("in-flight job did not survive the drain: %s", errMsg)
+	}
+}
+
+// The admin flush clears the memo from memory AND disk; the next
+// submission re-verifies and repopulates both.
+func TestFlushCacheMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurable(t, dir)
+	req := Request{Policy: "delta2", Obligations: fastObligations}
+	coldJSON := reportJSON(t, submitWait(t, s, req))
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	httpReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/cache", nil)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /v1/cache = %d", resp.StatusCode)
+	}
+	st := s.Stats()
+	if st.CacheEntries != 0 || st.CacheFlushes != 1 || st.Store.Entries != 0 {
+		t.Fatalf("flush left state behind: %d entries, %d flushes, %d on disk",
+			st.CacheEntries, st.CacheFlushes, st.Store.Entries)
+	}
+
+	// Re-verification repopulates memory and disk with the same verdicts.
+	if again := reportJSON(t, submitWait(t, s, req)); !bytes.Equal(coldJSON, again) {
+		t.Errorf("post-flush re-verification differs:\npre:\n%s\npost:\n%s", coldJSON, again)
+	}
+	s.Close()
+	s2 := newDurable(t, dir)
+	defer s2.Close()
+	if got := s2.Stats().Store.RecoveredRecords; got != len(fastObligations) {
+		t.Errorf("restart after flush+reverify recovered %d records, want %d", got, len(fastObligations))
+	}
+}

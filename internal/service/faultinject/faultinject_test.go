@@ -1,0 +1,128 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	if d := s.Check(OpWALAppend, ""); d.Err != nil || d.TornBytes != 0 {
+		t.Errorf("nil set returned %+v", d)
+	}
+	if f := s.Fired(); f != nil {
+		t.Errorf("nil set Fired() = %v", f)
+	}
+}
+
+func TestOccurrenceCounting(t *testing.T) {
+	s := New(Rule{Op: OpWALAppend, Kind: KindFail, On: 3})
+	for i := 1; i <= 5; i++ {
+		d := s.Check(OpWALAppend, "")
+		if (d.Err != nil) != (i == 3) {
+			t.Errorf("occurrence %d: err=%v, want fire only on 3rd", i, d.Err)
+		}
+	}
+	if s.Fired()["wal-append:fail"] != 1 {
+		t.Errorf("Fired() = %v, want one wal-append:fail", s.Fired())
+	}
+}
+
+func TestEveryOccurrenceAndMatchFilter(t *testing.T) {
+	s := New(Rule{Op: OpChecker, Kind: KindFail, Match: "lemma1"})
+	if d := s.Check(OpChecker, "reactivity"); d.Err != nil {
+		t.Error("rule fired on non-matching arg")
+	}
+	for i := 0; i < 3; i++ {
+		if d := s.Check(OpChecker, "lemma1"); !errors.Is(d.Err, ErrInjected) {
+			t.Errorf("matching arg occurrence %d did not fire: %v", i, d.Err)
+		}
+	}
+	if d := s.Check(OpWALAppend, "lemma1"); d.Err != nil {
+		t.Error("rule fired on wrong op")
+	}
+}
+
+func TestTornDirective(t *testing.T) {
+	s := New(Rule{Op: OpWALAppend, Kind: KindTorn, Bytes: 7})
+	d := s.Check(OpWALAppend, "")
+	if !errors.Is(d.Err, ErrInjected) || d.TornBytes != 7 {
+		t.Errorf("torn directive = %+v", d)
+	}
+}
+
+func TestPanicKindPanicsInCheck(t *testing.T) {
+	s := New(Rule{Op: OpChecker, Kind: KindPanic, Match: "lemma1"})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "injected panic at checker(lemma1)") {
+			t.Errorf("recover() = %v", r)
+		}
+	}()
+	s.Check(OpChecker, "lemma1")
+	t.Fatal("Check returned instead of panicking")
+}
+
+func TestStallKindSleeps(t *testing.T) {
+	s := New(Rule{Op: OpWorker, Kind: KindStall, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if d := s.Check(OpWorker, ""); d.Err != nil {
+		t.Errorf("stall returned error %v", d.Err)
+	}
+	if took := time.Since(start); took < 30*time.Millisecond {
+		t.Errorf("stall slept only %v", took)
+	}
+}
+
+func TestParseGrammar(t *testing.T) {
+	s, err := Parse(" wal-append:fail@3, wal-append:torn=5@2 ,checker:panic=lemma1,worker:stall=200ms,snapshot-rename:fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: OpWALAppend, Kind: KindFail, On: 3},
+		{Op: OpWALAppend, Kind: KindTorn, Bytes: 5, On: 2},
+		{Op: OpChecker, Kind: KindPanic, Match: "lemma1"},
+		{Op: OpWorker, Kind: KindStall, Delay: 200 * time.Millisecond},
+		{Op: OpSnapshotRename, Kind: KindFail},
+	}
+	if len(s.rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(s.rules), len(want))
+	}
+	for i, w := range want {
+		if s.rules[i].Rule != w {
+			t.Errorf("rule %d = %+v, want %+v", i, s.rules[i].Rule, w)
+		}
+	}
+}
+
+func TestParseEmptySpecIsInert(t *testing.T) {
+	s, err := Parse("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Check(OpWALAppend, ""); d.Err != nil {
+		t.Errorf("empty spec injected %v", d.Err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",                // no kind
+		"frobnicate:fail",         // unknown op
+		"wal-append:explode",      // unknown kind
+		"wal-append:fail@0",       // occurrence must be >= 1
+		"wal-append:fail@x",       // non-numeric occurrence
+		"wal-append:torn=banana",  // bad byte count
+		"wal-append:torn=-1",      // negative byte count
+		"worker:stall=fast",       // bad duration
+		"worker:stall=-1s",        // negative duration
+		"wal-append:fail,,",       // empty element
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}

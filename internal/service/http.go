@@ -13,11 +13,16 @@ import (
 // HTTP/JSON surface of the daemon:
 //
 //	POST   /v1/verify     submit a Request; 200 done (cache), 202 queued,
-//	                      400 bad request, 429 queue full (+ Retry-After)
+//	                      400 bad request, 429 queue full (+ Retry-After),
+//	                      503 draining or closed
 //	GET    /v1/jobs/{id}  poll a job; includes the report when done
 //	DELETE /v1/jobs/{id}  cancel a job
-//	GET    /v1/stats      Stats snapshot
-//	GET    /healthz       liveness
+//	GET    /v1/stats      Stats snapshot (cache, queue, durable store)
+//	DELETE /v1/cache      admin flush of the memo, memory and disk
+//	GET    /healthz       liveness (the process is up)
+//	GET    /readyz        readiness (submissions accepted); 503 while
+//	                      draining — polls still work then, so clients
+//	                      collect finished reports during shutdown
 //
 // Submit and poll responses share the SubmitResponse envelope. The
 // embedded report is the deterministic verify.ReportJSON encoding — the
@@ -50,8 +55,16 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("DELETE /v1/cache", s.handleCacheFlush)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "verifier_version": verify.Version})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Ready() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	})
 	return mux
 }
@@ -69,7 +82,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)+1))
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -115,6 +128,18 @@ func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleCacheFlush(w http.ResponseWriter, _ *http.Request) {
+	removed, err := s.FlushCache()
+	if err != nil {
+		// The in-memory flush already happened; report the disk half.
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"flushed": removed, "error": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"flushed": removed})
 }
 
 // doneResponse wraps a finished report in the envelope.

@@ -28,6 +28,8 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/service/faultinject"
+	"repro/internal/service/store"
 	"repro/internal/statespace"
 	"repro/internal/verify"
 )
@@ -53,6 +55,27 @@ type Config struct {
 	// RetryAfter is the backoff advertised to clients when the queue is
 	// full. Zero means 1s.
 	RetryAfter time.Duration
+	// DataDir enables the durable memo store: memoized results are
+	// WAL-appended under this directory and recovered at New, so a warm
+	// restart replays byte-identical verdicts with zero obligation
+	// re-runs (see internal/service/store). Empty keeps the memo
+	// in-memory only.
+	DataDir string
+	// CompactEvery is the WAL record count between snapshot compactions
+	// (only meaningful with DataDir). Zero means 256.
+	CompactEvery int
+}
+
+// Option tunes a Service beyond Config — the knobs that carry live
+// objects rather than plain settings.
+type Option func(*Service)
+
+// WithFaults arms the chaos-testing fault-injection rule set: injected
+// disk failures, torn WAL writes, checker panics and worker stalls fire
+// at the service's and store's fault points (see faultinject). The
+// daemon surfaces this as the hidden -faults flag.
+func WithFaults(f *faultinject.Set) Option {
+	return func(s *Service) { s.faults = f }
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +101,10 @@ var ErrQueueFull = errors.New("service: job queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: closed")
 
+// ErrDraining is returned by Submit while the service drains toward
+// shutdown; the HTTP layer maps it to 503, and /readyz reports it.
+var ErrDraining = errors.New("service: draining")
+
 // maxRetainedJobs bounds the finished-job history a long-running daemon
 // keeps for polling; the oldest finished jobs are evicted beyond it.
 const maxRetainedJobs = 1024
@@ -85,8 +112,10 @@ const maxRetainedJobs = 1024
 // Service is the incremental verifier. Create with New, serve over HTTP
 // via Handler, stop with Close.
 type Service struct {
-	cfg   Config
-	cache *resultCache
+	cfg    Config
+	cache  *resultCache
+	store  *store.Store // nil without Config.DataDir
+	faults *faultinject.Set
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -100,11 +129,16 @@ type Service struct {
 	byKey     map[string]*Job // jobKey -> live (queued/running) job, for coalescing
 	doneOrder []string        // finished job ids, oldest first (retention ring)
 
+	draining atomic.Bool
+	pending  atomic.Int64 // queued + running jobs (what Drain waits out)
+
 	jobsSubmitted   atomic.Int64
 	jobsCoalesced   atomic.Int64
 	jobsCompleted   atomic.Int64
 	jobsCancelled   atomic.Int64
 	servedFromCache atomic.Int64
+	checkerPanics   atomic.Int64
+	cacheFlushes    atomic.Int64
 
 	obMu    sync.Mutex
 	obStats map[verify.ObligationID]*obAgg
@@ -118,13 +152,15 @@ type obAgg struct {
 	maxNs   int64
 }
 
-// New starts a Service with cfg.Workers job executors.
-func New(cfg Config) *Service {
+// New starts a Service with cfg.Workers job executors. With
+// Config.DataDir set it first recovers the durable memo store —
+// corruption there never fails New (bad tails are truncated, see
+// internal/service/store); only real I/O errors do.
+func New(cfg Config, opts ...Option) (*Service, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:     cfg,
-		cache:   newResultCache(),
 		ctx:     ctx,
 		cancel:  cancel,
 		queue:   make(chan *Job, cfg.QueueDepth),
@@ -132,6 +168,23 @@ func New(cfg Config) *Service {
 		byKey:   make(map[string]*Job),
 		obStats: make(map[verify.ObligationID]*obAgg),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	var seed map[string]verify.Result
+	if cfg.DataDir != "" {
+		st, entries, err := store.Open(cfg.DataDir, store.Options{
+			CompactEvery: cfg.CompactEvery,
+			Faults:       s.faults,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		seed = entries
+	}
+	s.cache = newResultCache(seed)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -141,11 +194,55 @@ func New(cfg Config) *Service {
 			}
 		}()
 	}
+	return s, nil
+}
+
+// MustNew is New for callers whose Config cannot fail (no DataDir) —
+// the in-process embedding path.
+func MustNew(cfg Config, opts ...Option) *Service {
+	s, err := New(cfg, opts...)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
-// Close cancels every running job, rejects further submissions and
-// waits for the workers to drain.
+// Ready reports whether the service accepts new submissions (it stops
+// during drain and after Close); /readyz serves this, distinct from
+// /healthz liveness.
+func (s *Service) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// Drain flips the service to not-ready (new submissions fail with
+// ErrDraining, /readyz goes 503) and waits for every queued and running
+// job to reach a terminal state, or for ctx to expire — the graceful
+// half of shutdown. Poll handlers keep working throughout, so clients
+// can still collect finished reports. Call Close afterwards to cancel
+// whatever outlived the deadline.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close cancels every running job, rejects further submissions, waits
+// for the workers to drain and closes the durable store.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -154,9 +251,13 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.draining.Store(true)
 	s.cancel()
 	close(s.queue)
 	s.wg.Wait()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // submission is a resolved, validated request: a concrete factory plus
@@ -168,6 +269,7 @@ type submission struct {
 	obligations []verify.ObligationID
 	keys        []string // parallel to obligations
 	jobKey      string
+	timeout     time.Duration // client-propagated deadline; 0 = none
 }
 
 // resolve validates a request and computes its content identity.
@@ -207,6 +309,10 @@ func (s *Service) resolve(req Request) (*submission, error) {
 	}
 	sub.universe = req.universe()
 	sub.jobKey = jobKeyOf(sub.display, sub.keys)
+	if req.TimeoutMs < 0 {
+		return nil, fmt.Errorf("service: negative timeout_ms %d", req.TimeoutMs)
+	}
+	sub.timeout = time.Duration(req.TimeoutMs) * time.Millisecond
 	return sub, nil
 }
 
@@ -276,12 +382,25 @@ func (s *Service) enqueue(sub *submission) (*verify.Report, *Job, error) {
 	if s.closed {
 		return nil, nil, ErrClosed
 	}
+	if s.draining.Load() {
+		return nil, nil, ErrDraining
+	}
 	if live, ok := s.byKey[sub.jobKey]; ok {
 		s.jobsCoalesced.Add(1)
 		return nil, live, nil
 	}
 	s.seq++
-	ctx, cancel := context.WithCancel(s.ctx)
+	// A client-propagated deadline bounds the job even after the submit
+	// round-trip has returned 202. Coalesced later submissions inherit
+	// the first submission's deadline (the job is shared; cache entries
+	// are written either way).
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if sub.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.ctx, sub.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.ctx)
+	}
 	job := &Job{
 		id:        fmt.Sprintf("j-%d", s.seq),
 		sub:       sub,
@@ -299,6 +418,7 @@ func (s *Service) enqueue(sub *submission) (*verify.Report, *Job, error) {
 	s.jobs[job.id] = job
 	s.byKey[sub.jobKey] = job
 	s.jobsSubmitted.Add(1)
+	s.pending.Add(1)
 	return nil, job, nil
 }
 
@@ -314,7 +434,9 @@ func (s *Service) Job(id string) (*Job, bool) {
 func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 
 // runJob executes one job on a worker: memoized obligations splice in
-// from the cache, the rest run on the sharded driver and are stored.
+// from the cache, the rest run on the sharded driver and are stored —
+// in memory and, with a durable store, WAL-appended before the job can
+// report them.
 func (s *Service) runJob(job *Job) {
 	job.mu.Lock()
 	if job.ctx.Err() != nil {
@@ -325,6 +447,8 @@ func (s *Service) runJob(job *Job) {
 	job.state = JobRunning
 	job.started = time.Now()
 	job.mu.Unlock()
+
+	s.faults.Check(faultinject.OpWorker, "") // chaos: injected worker stall
 
 	sub := job.sub
 	cfg := verify.Config{
@@ -339,16 +463,72 @@ func (s *Service) runJob(job *Job) {
 			continue
 		}
 		start := time.Now()
-		res := verify.RunObligation(job.ctx, id, sub.factory, cfg)
+		res := s.runChecker(job.ctx, id, sub.factory, cfg)
 		if res.Aborted {
-			s.finish(job, nil, "cancelled: "+res.Witness)
-			return
+			if job.ctx.Err() != nil {
+				s.finish(job, nil, "cancelled: "+res.Witness)
+				return
+			}
+			// Aborted without cancellation means the checker panicked: the
+			// worker survived it, the result says so, and it is never
+			// cached — the next submission re-runs the checker.
+			results[i] = res
+			continue
 		}
 		s.recordLatency(id, time.Since(start))
 		s.cache.store(sub.keys[i], res)
+		s.persist(sub.keys[i], res)
 		results[i] = res
 	}
 	s.finish(job, sub.report(results), "")
+}
+
+// runChecker runs one obligation with panic containment: a crashing
+// checker becomes an ABORTED (never-cached) result instead of killing
+// the daemon. The sharded driver contains panics on its own worker
+// goroutines the same way (see verify.RunObligation); this recover
+// catches the fault-injection hook and any panic on the job goroutine
+// itself.
+func (s *Service) runChecker(ctx context.Context, id verify.ObligationID, f verify.Factory, cfg verify.Config) (res verify.Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.checkerPanics.Add(1)
+			res = verify.Result{
+				ID:      id,
+				Aborted: true,
+				Witness: fmt.Sprintf("aborted: checker panic: %v", p),
+			}
+		}
+	}()
+	s.faults.Check(faultinject.OpChecker, string(id)) // chaos: injected checker panic
+	res = verify.RunObligation(ctx, id, f, cfg)
+	if res.Aborted && ctx.Err() == nil {
+		s.checkerPanics.Add(1) // shard-level panic contained by the driver
+	}
+	return res
+}
+
+// persist write-through appends a freshly computed result to the
+// durable store. Disk failure degrades, never blocks: the in-memory
+// cache still serves the entry, and the store's append-error counters
+// surface the loss via /v1/stats.
+func (s *Service) persist(key string, res verify.Result) {
+	if s.store == nil || res.Aborted {
+		return
+	}
+	s.store.Append(key, res) // errors are counted in store stats
+}
+
+// FlushCache is the admin flush behind DELETE /v1/cache: it drops every
+// memoized result from memory and, with a durable store, from disk.
+// In-flight jobs are unaffected (their results re-populate the memo).
+func (s *Service) FlushCache() (int, error) {
+	removed := s.cache.flush()
+	s.cacheFlushes.Add(1)
+	if s.store != nil {
+		return removed, s.store.Flush()
+	}
+	return removed, nil
 }
 
 // finish moves a job to its terminal state and updates the indexes.
@@ -370,7 +550,6 @@ func (s *Service) finish(job *Job, rep *verify.Report, errMsg string) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.byKey[job.sub.jobKey] == job {
 		delete(s.byKey, job.sub.jobKey)
 	}
@@ -379,6 +558,8 @@ func (s *Service) finish(job *Job, rep *verify.Report, errMsg string) {
 		delete(s.jobs, s.doneOrder[0])
 		s.doneOrder = s.doneOrder[1:]
 	}
+	s.mu.Unlock()
+	s.pending.Add(-1)
 }
 
 func (s *Service) recordLatency(id verify.ObligationID, d time.Duration) {
@@ -423,7 +604,14 @@ func (s *Service) Stats() Stats {
 		JobsCompleted:   s.jobsCompleted.Load(),
 		JobsCancelled:   s.jobsCancelled.Load(),
 		ServedFromCache: s.servedFromCache.Load(),
+		CheckerPanics:   s.checkerPanics.Load(),
+		CacheFlushes:    s.cacheFlushes.Load(),
+		Draining:        s.draining.Load(),
 		Obligations:     make(map[string]ObligationStats),
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
 	}
 	s.obMu.Lock()
 	defer s.obMu.Unlock()

@@ -51,7 +51,7 @@ policy mydelta {
 }`
 
 func TestNameAndSourceShareCacheEntries(t *testing.T) {
-	s := New(Config{})
+	s := MustNew(Config{})
 	defer s.Close()
 
 	cold := submitWait(t, s, Request{Policy: "delta2"})
@@ -133,7 +133,7 @@ func TestObligationKeyDistinctions(t *testing.T) {
 // consult that clause — the acceptance criterion, observed through the
 // stats endpoint's hit/miss counters.
 func TestDeltaInvalidation(t *testing.T) {
-	s := New(Config{})
+	s := MustNew(Config{})
 	defer s.Close()
 
 	base := `policy p {
@@ -188,7 +188,7 @@ func TestDeltaInvalidation(t *testing.T) {
 // Warm-cache resubmission: byte-identical report, far under the cold
 // verification time.
 func TestWarmResubmissionByteIdenticalAndFast(t *testing.T) {
-	s := New(Config{})
+	s := MustNew(Config{})
 	defer s.Close()
 
 	req := Request{Policy: "delta2-gen"}
@@ -251,7 +251,7 @@ func waitState(t *testing.T, job *Job, want JobState) {
 }
 
 func TestCoalescingAndBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := MustNew(Config{Workers: 1, QueueDepth: 1})
 	defer s.Close()
 
 	// Occupy the single worker.
@@ -306,7 +306,7 @@ func TestCoalescingAndBackpressure(t *testing.T) {
 }
 
 func TestStatsLatencyAccounting(t *testing.T) {
-	s := New(Config{})
+	s := MustNew(Config{})
 	defer s.Close()
 	submitWait(t, s, Request{Policy: "delta2", Obligations: []string{"lemma1", "steal-soundness"}})
 	st := s.Stats()
@@ -325,7 +325,7 @@ func TestStatsLatencyAccounting(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{})
+	s := MustNew(Config{})
 	defer s.Close()
 	bad := []Request{
 		{},                                     // no policy at all

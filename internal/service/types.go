@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/service/store"
 	"repro/internal/statespace"
 	"repro/internal/verify"
 )
@@ -23,6 +24,11 @@ type Request struct {
 	Universe *UniverseSpec `json:"universe,omitempty"`
 	// Obligations restricts the checked obligations; nil means all.
 	Obligations []string `json:"obligations,omitempty"`
+	// TimeoutMs propagates the client's request deadline: a queued job
+	// is cancelled this many milliseconds after submission even though
+	// the submit round-trip already returned. Zero means no deadline.
+	// Deliberately not part of any cache or coalescing key.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // universe resolves the request's universe, defaulting like the
@@ -129,6 +135,18 @@ type Stats struct {
 	JobsCompleted   int64  `json:"jobs_completed"`
 	JobsCancelled   int64  `json:"jobs_cancelled"`
 	ServedFromCache int64  `json:"served_from_cache"`
+	// CheckerPanics counts obligation checkers that crashed and were
+	// contained as ABORTED (never-cached) results.
+	CheckerPanics int64 `json:"checker_panics,omitempty"`
+	// CacheFlushes counts DELETE /v1/cache admin flushes.
+	CacheFlushes int64 `json:"cache_flushes,omitempty"`
+	// Draining reports the graceful-shutdown window: submissions are
+	// rejected while finished jobs stay pollable.
+	Draining bool `json:"draining,omitempty"`
+	// Store carries the durable memo store's counters (WAL length,
+	// snapshot size, recovery/truncation/append-error counts); nil when
+	// the service runs memory-only.
+	Store *store.Stats `json:"store,omitempty"`
 	// Obligations maps obligation ID to verification latency over cache
 	// misses (hits never run the checker).
 	Obligations map[string]ObligationStats `json:"obligations"`

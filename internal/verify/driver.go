@@ -65,8 +65,28 @@ func (r *Result) refute(rank int, witness string) {
 	r.order = rank
 }
 
-// shardCheck dispatches one (obligation, shard) task to its checker.
-func shardCheck(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
+// shardCheck dispatches one (obligation, shard) task to its checker,
+// containing panics: shard tasks run on pool goroutines, where an
+// uncaught panic (a crashing checker or policy) would kill the whole
+// process — in the daemon, taking every other job with it. A panicking
+// shard instead becomes an aborted shard result, which the merge
+// propagates as an ABORTED obligation (never cached, so the next
+// submission re-runs it).
+func shardCheck(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int, sh shard) (res Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = Result{
+				ID:      id,
+				Aborted: true,
+				Witness: fmt.Sprintf("aborted: checker panic: %v", p),
+			}
+		}
+	}()
+	return rawShardCheck(ctx, id, f, u, maxRounds, sh)
+}
+
+// rawShardCheck is the uncontained dispatch.
+func rawShardCheck(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
 	switch id {
 	case ObLemma1:
 		return checkLemma1Shard(ctx, f, u, sh)
