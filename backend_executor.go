@@ -19,7 +19,10 @@ func (executorBackend) Name() string { return "executor" }
 
 // Execute implements Backend. Batch arrival times are ignored (all work
 // is submitted up front — submission is the arrival) and each task
-// occupies its worker for Work microseconds of real time. On
+// occupies its worker for Work microseconds of real time. Fault events
+// fire after At microseconds of wall time, fail-stopping and reviving
+// workers while the run drains; a schedule that strands tasks forever
+// (rescue-less policy, no revive) blocks completion until ctx fires. On
 // cancellation the pool is closed and drains its remaining queue in the
 // background; the run's error is ctx's.
 func (b executorBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, cores int, groups []int) (*Result, error) {
@@ -29,6 +32,29 @@ func (b executorBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, c
 	start := time.Now()
 	pool := engine.NewPool(cores, func() sched.Policy { return c.NewPolicy() },
 		engine.Options{Groups: groups})
+	if faults := c.faultSchedule(sc); len(faults) > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for _, ev := range faults {
+				if d := time.Duration(ev.At)*time.Microsecond - time.Since(start); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-stop:
+						return
+					}
+				}
+				// The schedule was validated against an online-state replay,
+				// but wall time may interleave events with chaos self-kills;
+				// a refused kill/revive is a no-op, like a failed steal.
+				if ev.Revive {
+					pool.Revive(ev.Core % cores)
+				} else {
+					pool.Kill(ev.Core % cores)
+				}
+			}
+		}()
+	}
 	for _, batch := range sc.Batches {
 		if err := ctx.Err(); err != nil {
 			pool.Close()
@@ -57,6 +83,9 @@ func (b executorBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, c
 	res.Completed = st.Executed
 	res.Steals = st.Steals
 	res.StealFails = st.StealFails
+	res.Faults = st.Kills + st.Revives
+	res.FaultRescued = st.Rescued
+	res.Orphaned = st.Orphaned
 	res.Converged = res.Completed >= int64(res.Tasks)
 	res.Wall = time.Since(start)
 	return res, nil

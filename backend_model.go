@@ -21,7 +21,9 @@ func (modelBackend) Name() string { return "model" }
 // Execute implements Backend. Arrival times and per-task work are
 // ignored — the model has no clock; what it measures is balancing
 // behavior: rounds to convergence, tasks migrated, failed optimistic
-// attempts, and the final load vector.
+// attempts, and the final load vector. Fault events fire at balancing
+// round boundaries: an event with At == r is applied before round r
+// runs, exactly the semantics the fault obligations quantify over.
 func (b modelBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, cores int, groups []int) (*Result, error) {
 	start := time.Now()
 	m := sched.NewMachine(cores)
@@ -36,11 +38,30 @@ func (b modelBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, core
 	}
 	p := c.NewPolicy()
 	rng := sim.NewRNG(c.Seed())
+	faults := c.faultSchedule(sc)
 
 	res := newResult(b, c, sc, cores)
-	for !m.WorkConserved() && res.Rounds < int64(c.maxRounds) {
+	for res.Rounds < int64(c.maxRounds) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		// Apply every fault event due at this round index. While events
+		// are still pending the machine's shape is not final, so neither
+		// conservation nor a stuck round may end the run early.
+		for len(faults) > 0 && faults[0].At <= res.Rounds {
+			ev := faults[0]
+			faults = faults[1:]
+			core := ev.Core % cores
+			if ev.Revive {
+				m.ReviveCore(core)
+			} else {
+				m.FailCore(core)
+				res.FaultRescued += int64(sched.Rescue(p, m, core))
+			}
+			res.Faults++
+		}
+		if len(faults) == 0 && m.WorkConserved() {
+			break
 		}
 		var rr sched.RoundResult
 		if c.Sequential() {
@@ -51,11 +72,12 @@ func (b modelBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, core
 		res.Rounds++
 		res.Steals += int64(rr.TasksMoved())
 		res.StealFails += int64(rr.Failures())
-		if rr.TasksMoved() == 0 {
+		if rr.TasksMoved() == 0 && len(faults) == 0 {
 			break // stuck: no steal possible, conserved or not
 		}
 	}
 	res.Converged = m.WorkConserved()
+	res.Orphaned = int64(len(m.Orphans()))
 	res.FinalLoads = m.Loads()
 	res.Wall = time.Since(start)
 	return res, nil

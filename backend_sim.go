@@ -42,6 +42,13 @@ func (b simBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, cores 
 			}
 		}
 	}
+	for _, ev := range c.faultSchedule(sc) {
+		if ev.Revive {
+			s.ReviveAt(ev.At, ev.Core%cores)
+		} else {
+			s.FailAt(ev.At, ev.Core%cores)
+		}
+	}
 
 	horizon := sc.Horizon
 	if horizon <= 0 {
@@ -58,6 +65,9 @@ func (b simBackend) Execute(ctx context.Context, c *Cluster, sc Scenario, cores 
 	res.StealFails = st.StealFails
 	res.Rounds = st.Rounds
 	res.Converged = res.Tasks == 0 || res.Completed >= int64(res.Tasks)
+	res.Faults = st.Faults
+	res.FaultRescued = st.Rescued
+	res.Orphaned = st.Orphaned
 	res.VirtualTicks = st.Duration
 	res.WastedPct = st.WastedPct
 	res.Sim = &st

@@ -352,6 +352,38 @@ func BenchmarkVerifyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyFaults prices the fault dimension: the full obligation
+// suite on the rescue-capable policy over the same universe healthy,
+// then with one- and two-event fault scripts. Each MaxFaults step
+// multiplies the state count by the number of valid scripts per
+// machine, so this is the curve that says what `-max-faults` costs —
+// recorded as BENCH_faults.json by CI.
+func BenchmarkVerifyFaults(b *testing.B) {
+	factory := func() sched.Policy {
+		p, err := policy.New("delta2-rescue")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	for _, maxFaults := range []int{0, 1, 2} {
+		u := statespace.Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 4,
+			IncludeUnscheduled: true, MaxFaults: maxFaults}
+		b.Run("maxFaults="+itoa(maxFaults), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := verify.PolicyContext(context.Background(), "delta2-rescue", factory,
+					verify.Config{Universe: u})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Passed() {
+					b.Fatalf("delta2-rescue refuted at maxFaults=%d:\n%s", maxFaults, rep)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDSLParseCompile(b *testing.B) {
 	src := `policy delta2 {
 	    load   = self.ready.size + self.current.size

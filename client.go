@@ -185,6 +185,35 @@ func (c *VerifyClient) recordFailure() bool {
 	return false
 }
 
+// BreakerState is a point-in-time snapshot of a VerifyClient's circuit
+// breaker, for dashboards and tests (see Cluster.VerifyServiceStatus).
+type BreakerState struct {
+	// State is "closed" (requests flow), "open" (calls fail fast with
+	// ErrCircuitOpen) or "half-open" (the cooldown elapsed; the next
+	// call is a probe that fully closes or re-opens the breaker).
+	State string
+	// ConsecutiveFailures is the current run of failed requests; it
+	// resets to zero on any success.
+	ConsecutiveFailures int
+}
+
+// Breaker returns the circuit breaker's current state. The snapshot is
+// advisory — the breaker may transition immediately after.
+func (c *VerifyClient) Breaker() BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := BreakerState{ConsecutiveFailures: c.fails}
+	switch {
+	case c.fails < c.breakerThreshold():
+		st.State = "closed"
+	case time.Now().Before(c.openUntil):
+		st.State = "open"
+	default:
+		st.State = "half-open"
+	}
+	return st
+}
+
 func (c *VerifyClient) recordSuccess() {
 	c.mu.Lock()
 	c.fails = 0

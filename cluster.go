@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dsl"
 	"repro/internal/policy"
@@ -34,26 +35,28 @@ import (
 // WithTrace ring must not Run concurrently, because the trace ring is
 // deliberately unsynchronized (see WithTrace).
 type Cluster struct {
-	policyName  string
-	factory     func() sched.Policy
-	spec        *policy.Spec       // set when the policy came from the registry
-	policyTop   *topology.Topology // the topology the policy was built over (NeedsTopology specs)
-	top         *topology.Topology
-	backend     Backend
-	cores       int
-	seed        uint64
-	sequential  bool
-	idleBalance bool
-	horizon     int64
-	maxRounds   int
-	parallelism int
-	universe    statespace.Universe
-	hasUniverse bool
-	obligations []verify.ObligationID
-	ring        *trace.Ring
-	dslSource    string // set when the policy came from WithDSL
-	verifyURL    string // set by WithVerifyService: Verify delegates here
+	policyName   string
+	factory      func() sched.Policy
+	spec         *policy.Spec       // set when the policy came from the registry
+	policyTop    *topology.Topology // the topology the policy was built over (NeedsTopology specs)
+	top          *topology.Topology
+	backend      Backend
+	cores        int
+	seed         uint64
+	sequential   bool
+	idleBalance  bool
+	horizon      int64
+	maxRounds    int
+	parallelism  int
+	universe     statespace.Universe
+	hasUniverse  bool
+	obligations  []verify.ObligationID
+	ring         *trace.Ring
+	faults       []FaultEvent // WithFaults: default fault schedule
+	dslSource    string       // set when the policy came from WithDSL
+	verifyURL    string       // set by WithVerifyService: Verify delegates here
 	verifyClient *VerifyClient
+	fallbacks    int64 // verifyRemote→verifyLocal circuit-open fallbacks (atomic)
 }
 
 // options accumulates the functional options before validation.
@@ -264,8 +267,23 @@ func WithUniverse(u Universe) Option {
 	}
 }
 
+// WithFaults installs the cluster's default fault schedule: every
+// scenario that does not carry its own Faults runs under these events,
+// on whichever backend (see FaultEvent for how each backend interprets
+// At). The schedule is validated against the resolved machine width at
+// Run time, like the scenario's own fields.
+func WithFaults(events ...FaultEvent) Option {
+	return func(o *options) {
+		if len(events) == 0 {
+			o.fail(fmt.Errorf("optsched: WithFaults needs at least one event (omit the option for a healthy machine)"))
+			return
+		}
+		o.cluster.faults = append([]FaultEvent(nil), events...)
+	}
+}
+
 // WithObligations restricts Verify to the given proof obligations
-// (default: all eight). At least one obligation is required — an empty
+// (default: all). At least one obligation is required — an empty
 // restriction would make Verify vacuously pass.
 func WithObligations(ids ...ObligationID) Option {
 	return func(o *options) {
@@ -467,7 +485,24 @@ func (c *Cluster) layout(sc Scenario) (int, []int, error) {
 	if err := sc.validate(cores); err != nil {
 		return 0, nil, err
 	}
+	// The cluster-default schedule only applies when the scenario has
+	// none of its own, and only then needs to fit this machine width.
+	if len(sc.Faults) == 0 && len(c.faults) > 0 {
+		if err := validateFaults(c.faults, cores); err != nil {
+			return 0, nil, fmt.Errorf("optsched: cluster fault schedule: %w", err)
+		}
+	}
 	return cores, groups, nil
+}
+
+// faultSchedule resolves the fault schedule a backend applies: the
+// scenario's own Faults win, then the cluster default (WithFaults),
+// then none.
+func (c *Cluster) faultSchedule(sc Scenario) []FaultEvent {
+	if len(sc.Faults) > 0 {
+		return sc.Faults
+	}
+	return c.faults
 }
 
 // Verify discharges the paper's proof obligations for the cluster's
@@ -530,9 +565,35 @@ func (c *Cluster) verifyRemote(ctx context.Context) (*Report, error) {
 		// The daemon is down or persistently failing: the session still
 		// owes its caller a verdict, and the local driver produces the
 		// byte-identical report (only slower, with no memoization).
+		atomic.AddInt64(&c.fallbacks, 1)
 		return c.verifyLocal(ctx)
 	}
 	return rep, err
+}
+
+// VerifyServiceStatus is the cluster-level health view of the
+// WithVerifyService delegation: the resilient client's circuit-breaker
+// snapshot plus how many Verify calls the breaker diverted to local
+// in-process verification.
+type VerifyServiceStatus struct {
+	// Breaker is the shared VerifyClient's breaker snapshot.
+	Breaker BreakerState
+	// LocalFallbacks counts Verify calls that returned a locally
+	// computed report because the breaker was open.
+	LocalFallbacks int64
+}
+
+// VerifyServiceStatus reports the verify-service delegation's health.
+// The second return is false when the cluster was built without
+// WithVerifyService (there is no delegation to report on).
+func (c *Cluster) VerifyServiceStatus() (VerifyServiceStatus, bool) {
+	if c.verifyClient == nil {
+		return VerifyServiceStatus{}, false
+	}
+	return VerifyServiceStatus{
+		Breaker:        c.verifyClient.Breaker(),
+		LocalFallbacks: atomic.LoadInt64(&c.fallbacks),
+	}, true
 }
 
 // VerifyServiceClient returns the shared resilient client behind

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/verify"
 )
 
 // TestClusterRunAcrossBackends is the API's core promise: one fixed
@@ -84,6 +85,155 @@ func TestClusterRunAcrossBackends(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestClusterRunWithFaultsAcrossBackends is the fault model's
+// cross-backend promise: the same fault schedule — kill core 1 at the
+// start of a skewed burst — round-trips through all three backends
+// under a rescue-capable policy with every task accounted for.
+func TestClusterRunWithFaultsAcrossBackends(t *testing.T) {
+	scenario := SkewedScenario("skew-faults", 24, 200)
+	scenario.Cores = 4
+	scenario.Faults = []FaultEvent{{At: 0, Core: 1}}
+
+	for _, backend := range Backends() {
+		t.Run(backend.Name(), func(t *testing.T) {
+			c, err := New(
+				WithPolicy("delta2-rescue"),
+				WithBackend(backend),
+				WithSeed(7),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(context.Background(), scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Errorf("backend %s did not converge under the fault schedule: %v", backend.Name(), res)
+			}
+			if res.Orphaned != 0 {
+				t.Errorf("backend %s left %d tasks orphaned: %v", backend.Name(), res.Orphaned, res)
+			}
+			// The executor's fault clock is wall time, so an instant drain
+			// can in principle outrun the kill; the virtual-time backends
+			// must apply it exactly.
+			if backend != BackendExecutor && res.Faults != 1 {
+				t.Errorf("backend %s applied %d fault events, want 1", backend.Name(), res.Faults)
+			}
+			if backend == BackendSim && res.Completed != 24 {
+				t.Errorf("sim completed %d of 24 under faults", res.Completed)
+			}
+		})
+	}
+}
+
+// TestClusterRunModelFaultSemantics pins the model backend's fault
+// accounting: a rescue-less policy strands the failed core's tasks
+// (visible as Orphaned), a scripted revival recovers them, and the
+// rescue rule re-homes them immediately.
+func TestClusterRunModelFaultSemantics(t *testing.T) {
+	base := SkewedScenario("strand", 6, 100)
+	base.Cores = 3
+
+	run := func(t *testing.T, policy string, faults []FaultEvent) *Result {
+		t.Helper()
+		sc := base
+		sc.Faults = faults
+		c, err := New(WithPolicy(policy), WithBackend(BackendModel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// No rescue, no revival: all six tasks stay stranded on core 0.
+	res := run(t, "delta2", []FaultEvent{{At: 0, Core: 0}})
+	if res.Orphaned != 6 || res.FaultRescued != 0 {
+		t.Errorf("delta2 fail(0): orphaned=%d rescued=%d, want 6/0", res.Orphaned, res.FaultRescued)
+	}
+
+	// Scripted revival recovers the stranded tasks without a rescue rule.
+	res = run(t, "delta2", []FaultEvent{{At: 0, Core: 0}, {At: 2, Core: 0, Revive: true}})
+	if res.Orphaned != 0 {
+		t.Errorf("delta2 fail+revive: %d tasks still orphaned", res.Orphaned)
+	}
+	if res.Faults != 2 {
+		t.Errorf("delta2 fail+revive: %d fault events applied, want 2", res.Faults)
+	}
+	if !res.Converged {
+		t.Errorf("delta2 fail+revive did not converge: %v", res)
+	}
+
+	// The rescue rule re-homes every orphan at fail time.
+	res = run(t, "delta2-rescue", []FaultEvent{{At: 0, Core: 0}})
+	if res.Orphaned != 0 || res.FaultRescued != 6 {
+		t.Errorf("delta2-rescue fail(0): orphaned=%d rescued=%d, want 0/6", res.Orphaned, res.FaultRescued)
+	}
+	if !res.Converged {
+		t.Errorf("delta2-rescue did not converge: %v", res)
+	}
+}
+
+// TestClusterWithFaultsDefault checks the cluster-level fault schedule:
+// it applies when the scenario carries none and yields to a scenario
+// schedule when both are set.
+func TestClusterWithFaultsDefault(t *testing.T) {
+	c, err := New(
+		WithPolicy("delta2-rescue"),
+		WithBackend(BackendModel),
+		WithFaults(FaultEvent{At: 0, Core: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := SkewedScenario("plain", 8, 100)
+	sc.Cores = 3
+	res, err := c.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 1 {
+		t.Errorf("cluster-default schedule not applied: %d fault events", res.Faults)
+	}
+
+	sc.Faults = []FaultEvent{{At: 0, Core: 1}, {At: 1, Core: 1, Revive: true}}
+	res, err = c.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 2 {
+		t.Errorf("scenario schedule did not override cluster default: %d fault events", res.Faults)
+	}
+}
+
+// TestClusterRunRejectsBadFaultSchedule checks schedule validation at
+// Run time: out-of-order events, reviving an online core, and failing
+// the last online core are all structural errors.
+func TestClusterRunRejectsBadFaultSchedule(t *testing.T) {
+	for name, faults := range map[string][]FaultEvent{
+		"out of order":     {{At: 5, Core: 0}, {At: 1, Core: 0, Revive: true}},
+		"revive online":    {{At: 0, Core: 1, Revive: true}},
+		"double fail":      {{At: 0, Core: 1}, {At: 1, Core: 1}},
+		"fail last online": {{At: 0, Core: 0}, {At: 0, Core: 1}},
+		"negative time":    {{At: -1, Core: 0}},
+	} {
+		c, err := New(WithPolicy("delta2"), WithBackend(BackendModel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := SkewedScenario("bad", 4, 100)
+		sc.Cores = 2
+		sc.Faults = faults
+		if _, err := c.Run(context.Background(), sc); err == nil {
+			t.Errorf("%s: Run accepted invalid fault schedule %v", name, faults)
+		}
 	}
 }
 
@@ -165,8 +315,8 @@ func TestClusterVerify(t *testing.T) {
 	if !rep.Passed() {
 		t.Fatalf("delta2 verification failed:\n%s", rep)
 	}
-	if len(rep.Results) != 8 {
-		t.Errorf("expected the 8-obligation suite, got %d results", len(rep.Results))
+	if want := len(verify.AllObligations()); len(rep.Results) != want {
+		t.Errorf("expected the full %d-obligation suite, got %d results", want, len(rep.Results))
 	}
 
 	bad, err := New(WithPolicy("greedy-buggy"))
@@ -417,5 +567,66 @@ func TestClusterVerifyServiceFallback(t *testing.T) {
 	}
 	if took := time.Since(start); took > 5*time.Second {
 		t.Errorf("open-breaker fallback took %v, want fail-fast", took)
+	}
+}
+
+// TestClusterVerifyServiceStatus pins the observability contract that
+// rides on the fallback path: VerifyServiceStatus exposes the circuit
+// breaker's state and counts the Verify calls diverted to local
+// verification, so operators can see a degraded daemon instead of
+// inferring it from latency.
+func TestClusterVerifyServiceStatus(t *testing.T) {
+	c, err := New(WithPolicy("delta2"), WithObligations("lemma1"),
+		WithVerifyService("http://127.0.0.1:1")) // nothing listens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := c.VerifyServiceStatus()
+	if !ok {
+		t.Fatal("VerifyServiceStatus reported no delegation despite WithVerifyService")
+	}
+	if st.Breaker.State != "closed" || st.Breaker.ConsecutiveFailures != 0 || st.LocalFallbacks != 0 {
+		t.Errorf("pristine status = %+v, want closed/0/0", st)
+	}
+
+	vc := c.VerifyServiceClient()
+	vc.BreakerThreshold = 2
+	vc.RetryBase = time.Millisecond
+	vc.MaxPollInterval = 4 * time.Millisecond
+	vc.BreakerCooldown = time.Hour
+
+	for i := 1; i <= 2; i++ {
+		if _, err := c.Verify(context.Background()); err != nil {
+			t.Fatalf("fallback Verify %d: %v", i, err)
+		}
+		st, _ = c.VerifyServiceStatus()
+		if st.LocalFallbacks != int64(i) {
+			t.Errorf("after Verify %d: LocalFallbacks = %d, want %d", i, st.LocalFallbacks, i)
+		}
+	}
+	if st.Breaker.State != "open" {
+		t.Errorf("breaker state %q after repeated failures, want open", st.Breaker.State)
+	}
+	if st.Breaker.ConsecutiveFailures < 2 {
+		t.Errorf("ConsecutiveFailures = %d, want >= threshold 2", st.Breaker.ConsecutiveFailures)
+	}
+
+	// Once the cooldown elapses the breaker half-opens: the next Verify
+	// would probe the daemon again.
+	vc.mu.Lock()
+	vc.openUntil = time.Now().Add(-time.Millisecond)
+	vc.mu.Unlock()
+	st, _ = c.VerifyServiceStatus()
+	if st.Breaker.State != "half-open" {
+		t.Errorf("breaker state %q after cooldown, want half-open", st.Breaker.State)
+	}
+
+	// Without WithVerifyService there is no delegation to report on.
+	plain, err := New(WithPolicy("delta2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.VerifyServiceStatus(); ok {
+		t.Error("VerifyServiceStatus reported a delegation on a local-only cluster")
 	}
 }

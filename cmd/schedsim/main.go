@@ -9,11 +9,19 @@
 //
 //	schedsim [-policy name] [-workload name] [-backend model|sim|executor]
 //	         [-cores N] [-horizon T] [-seed S] [-sequential] [-trace file.json]
+//	         [-hotplug spec]
 //
 // Workloads: db-trap, barrier-trap, barrier, forkjoin, bursty.
 // The trap and barrier workloads are simulator-native (blocking,
 // barriers) and run only with -backend sim; forkjoin and bursty are
 // portable batch scenarios and run on every backend.
+//
+// -hotplug attaches a fail-stop fault schedule: comma-separated
+// fail:CORE@AT and revive:CORE@AT events, AT in the backend's time unit
+// (balancing rounds on the model, virtual ticks on the simulator,
+// microseconds of wall time on the executor). E.g.
+// "fail:2@50000,revive:2@400000" kills core 2 at t=50000 and brings it
+// back at t=400000.
 //
 // Examples:
 //
@@ -21,6 +29,7 @@
 //	schedsim -policy cfs-group-buggy -workload db-trap    # the bug, live
 //	schedsim -policy delta2 -workload forkjoin -cores 8
 //	schedsim -policy delta2 -workload forkjoin -backend executor
+//	schedsim -policy delta2-rescue -workload bursty -hotplug fail:0@100000
 package main
 
 import (
@@ -29,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	optsched "repro"
 	"repro/internal/workload"
@@ -44,6 +55,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "deterministic RNG seed")
 		sequential  = flag.Bool("sequential", false, "use §4.2 sequential rounds instead of optimistic concurrent")
 		traceFile   = flag.String("trace", "", "write the last 64k trace events as JSON (sim backend)")
+		hotplug     = flag.String("hotplug", "", "fault schedule: fail:CORE@AT,revive:CORE@AT,... (AT in backend time units)")
 	)
 	flag.Parse()
 
@@ -55,6 +67,13 @@ func main() {
 	if *cores > 0 {
 		scenario.Cores = *cores
 		scenario.Groups = nil
+	}
+	if *hotplug != "" {
+		faults, err := parseHotplug(*hotplug)
+		if err != nil {
+			fatal(err)
+		}
+		scenario.Faults = faults
 	}
 
 	opts := []optsched.Option{
@@ -103,6 +122,10 @@ func main() {
 	fmt.Printf("policy    %s\nworkload  %s\nbackend   %s\ncores     %d\n",
 		cluster.PolicyName(), scenario.Name, res.Backend, res.Cores)
 	fmt.Printf("result    %v\n", res)
+	if res.Faults > 0 {
+		fmt.Printf("faults    %d events applied, %d tasks rescued, %d still orphaned\n",
+			res.Faults, res.FaultRescued, res.Orphaned)
+	}
 	if st := res.Sim; st != nil {
 		fmt.Printf("stats     %v\n", *st)
 		fmt.Printf("latency   p50=%d p90=%d p99=%d max=%d\n",
@@ -162,6 +185,35 @@ func buildScenario(name string) (optsched.Scenario, func() (string, int64)) {
 	}
 	fatal(fmt.Errorf("schedsim: unknown workload %q", name))
 	return optsched.Scenario{}, nil
+}
+
+// parseHotplug parses the -hotplug spec: comma-separated fail:CORE@AT
+// and revive:CORE@AT elements. Schedule validity (event order, no
+// double-fail, never the last online core) is checked by the scenario
+// validation at Run time, against the resolved machine width.
+func parseHotplug(spec string) ([]optsched.FaultEvent, error) {
+	var events []optsched.FaultEvent
+	for _, elem := range strings.Split(spec, ",") {
+		elem = strings.TrimSpace(elem)
+		verb, rest, ok := strings.Cut(elem, ":")
+		if !ok || (verb != "fail" && verb != "revive") {
+			return nil, fmt.Errorf("schedsim: bad -hotplug element %q (want fail:CORE@AT or revive:CORE@AT)", elem)
+		}
+		coreStr, atStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("schedsim: bad -hotplug element %q (missing @AT)", elem)
+		}
+		core, err := strconv.Atoi(coreStr)
+		if err != nil || core < 0 {
+			return nil, fmt.Errorf("schedsim: bad core in -hotplug element %q", elem)
+		}
+		at, err := strconv.ParseInt(atStr, 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("schedsim: bad time in -hotplug element %q", elem)
+		}
+		events = append(events, optsched.FaultEvent{At: at, Core: core, Revive: verb == "revive"})
+	}
+	return events, nil
 }
 
 func fatal(err error) {

@@ -7,8 +7,8 @@
 //
 //	schedverify [-policy name | -dsl file.pol] [-cores N] [-maxper N]
 //	            [-maxtotal N] [-groups 0,0,1,1] [-weights 1,3]
-//	            [-obligation id] [-quick] [-parallel N] [-json]
-//	            [-service http://host:port]
+//	            [-max-faults N] [-obligation id] [-quick] [-parallel N]
+//	            [-json] [-service http://host:port]
 //
 // -json prints the report in the canonical JSON encoding shared with
 // the schedverifyd daemon: equal reports are byte-identical documents.
@@ -25,6 +25,8 @@
 //	schedverify -policy greedy-buggy            # prints the livelock
 //	schedverify -dsl mypolicy.pol -cores 3
 //	schedverify -policy cfs-group-buggy -cores 4 -groups 0,0,1,1 -weights 1,8
+//	schedverify -policy delta2 -max-faults 1    # refutes no-task-lost
+//	schedverify -policy delta2-rescue -max-faults 1
 package main
 
 import (
@@ -49,6 +51,7 @@ func main() {
 		maxTotal   = flag.Int("maxtotal", 5, "universe: max total threads (0 = cores*maxper)")
 		groups     = flag.String("groups", "", "comma-separated group per core (e.g. 0,0,1,1)")
 		weights    = flag.String("weights", "", "comma-separated task weights (e.g. 1,3)")
+		maxFaults  = flag.Int("max-faults", 0, "universe: max fail/revive events per fault script (0 = healthy machines only)")
 		obligation = flag.String("obligation", "", "check only this obligation (e.g. lemma1)")
 		quick      = flag.Bool("quick", false, "smaller universe (cores=3, maxper=2, maxtotal=4)")
 		parallel   = flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
@@ -74,6 +77,7 @@ func main() {
 		MaxPerCore:         *maxPer,
 		MaxTotal:           *maxTotal,
 		IncludeUnscheduled: true,
+		MaxFaults:          *maxFaults,
 	}
 	if *quick {
 		u.Cores, u.MaxPerCore, u.MaxTotal = 3, 2, 4

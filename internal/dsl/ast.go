@@ -132,6 +132,12 @@ type Policy struct {
 	Steal expr
 	// Choose is the step-2 heuristic.
 	Choose Chooser
+	// Rescue is the fail-stop rescue rule: the chooser that picks which
+	// online core adopts each task orphaned by a core failure. A nil
+	// Name means no rescue — orphans stay stranded until the core
+	// revives, which is the behavior the no-task-lost obligation
+	// refutes.
+	Rescue Chooser
 }
 
 // String renders the policy back to canonical DSL form.
@@ -145,6 +151,13 @@ func (p *Policy) String() string {
 		fmt.Fprintf(&b, "    choose = random(%d)\n", p.Choose.Seed)
 	} else {
 		fmt.Fprintf(&b, "    choose = %s\n", p.Choose.Name)
+	}
+	if p.Rescue.Name != "" {
+		if p.Rescue.Name == "random" {
+			fmt.Fprintf(&b, "    rescue = random(%d)\n", p.Rescue.Seed)
+		} else {
+			fmt.Fprintf(&b, "    rescue = %s\n", p.Rescue.Name)
+		}
 	}
 	b.WriteString("}\n")
 	return b.String()

@@ -14,7 +14,7 @@ func Compile(p *Policy) sched.Policy {
 	loadFn := func(c *sched.Core) int64 {
 		return evalInt(p.Load, c, nil, loadOf(p))
 	}
-	return &sched.FuncPolicy{
+	fp := &sched.FuncPolicy{
 		PolicyName: p.Name,
 		LoadFn:     loadFn,
 		FilterFn: func(thief, stealee *sched.Core) bool {
@@ -25,6 +25,17 @@ func Compile(p *Policy) sched.Policy {
 			return int(evalInt(p.Steal, thief, stealee, loadOf(p)))
 		},
 	}
+	if p.Rescue.Name != "" {
+		// The rescue rule reuses the chooser vocabulary: the chooser
+		// picks, among the online cores, the one that adopts each orphan
+		// of the failed core. Policies without a rescue clause leave
+		// RescueFn nil, i.e. orphans stay stranded.
+		rescue := compileChooser(p.Rescue, loadFn)
+		fp.RescueFn = func(failed *sched.Core, _ *sched.Task, candidates []*sched.Core) *sched.Core {
+			return rescue(failed, candidates)
+		}
+	}
+	return fp
 }
 
 // CompileSource parses, checks and compiles in one step.

@@ -23,8 +23,9 @@ import (
 // policy does not change what the verifier proves about it.
 
 // ComponentForm returns the canonical compiled form of one policy
-// component ("load", "filter", "steal" or "choose" — the four parts of
-// sched.Policy; verify.ObligationDeps speaks the same names). The form
+// component ("load", "filter", "steal", "choose" or "rescue" — the
+// parts of sched.Policy; verify.ObligationDeps speaks the same names,
+// with "rescue" covering the optional fail-stop rescue rule). The form
 // is closed over the load clause: a filter or steal expression that
 // references `x.load`, and a chooser (max_load/min_load) defined in
 // terms of the load metric, embed the load clause's canonical form — so
@@ -41,6 +42,14 @@ func ComponentForm(p *Policy, comp string) string {
 	case "choose":
 		form := "choose = " + canonChooser(p.Choose)
 		return closeOverLoad(p, form, chooserUsesLoad(p.Choose))
+	case "rescue":
+		if p.Rescue.Name == "" {
+			// No rescue clause: orphans stay stranded. Canonicalized as
+			// "none" so rescue-less policies share one stable form.
+			return "rescue = none"
+		}
+		form := "rescue = " + canonChooser(p.Rescue)
+		return closeOverLoad(p, form, chooserUsesLoad(p.Rescue))
 	}
 	panic(fmt.Sprintf("dsl: unknown policy component %q", comp))
 }
@@ -53,6 +62,7 @@ func ComponentForms(p *Policy) map[string]string {
 		"filter": ComponentForm(p, "filter"),
 		"steal":  ComponentForm(p, "steal"),
 		"choose": ComponentForm(p, "choose"),
+		"rescue": ComponentForm(p, "rescue"),
 	}
 }
 

@@ -53,13 +53,13 @@ func TestComponentFormsIgnoreSurfaceSyntax(t *testing.T) {
 
 // The declared policy name is not part of any component form.
 func TestComponentFormsExcludeName(t *testing.T) {
-	a := mustParse(t, "policy one { filter = stealee.nthreads - self.nthreads >= 2 }")
-	b := mustParse(t, "policy two { filter = stealee.nthreads - self.nthreads >= 2 }")
+	a := mustParse(t, "policy alpha { filter = stealee.nthreads - self.nthreads >= 2 }")
+	b := mustParse(t, "policy bravo { filter = stealee.nthreads - self.nthreads >= 2 }")
 	for comp, form := range ComponentForms(a) {
 		if got := ComponentForm(b, comp); got != form {
 			t.Errorf("component %s differs across names: %q vs %q", comp, form, got)
 		}
-		if strings.Contains(form, "one") {
+		if strings.Contains(form, "alpha") {
 			t.Errorf("component %s leaks the policy name: %q", comp, form)
 		}
 	}

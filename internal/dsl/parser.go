@@ -67,7 +67,7 @@ func (p *parser) parsePolicy() (*Policy, error) {
 			break
 		}
 		if t.kind != tokIdent {
-			return nil, errf(t.line, t.col, "expected a clause (load/filter/steal/choose), found %s", t)
+			return nil, errf(t.line, t.col, "expected a clause (load/filter/steal/choose/rescue), found %s", t)
 		}
 		clause := t.text
 		p.bump()
@@ -103,8 +103,14 @@ func (p *parser) parsePolicy() (*Policy, error) {
 				return nil, err
 			}
 			pol.Choose = c
+		case "rescue":
+			c, err := p.parseChooser()
+			if err != nil {
+				return nil, err
+			}
+			pol.Rescue = c
 		default:
-			return nil, errf(t.line, t.col, "unknown clause %q (want load, filter, steal or choose)", clause)
+			return nil, errf(t.line, t.col, "unknown clause %q (want load, filter, steal, choose or rescue)", clause)
 		}
 	}
 	eof := p.cur()

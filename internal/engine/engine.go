@@ -17,11 +17,13 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/service/faultinject"
 )
 
 // Task is a unit of work.
@@ -38,10 +40,14 @@ type Pool struct {
 	inflt   atomic.Int64 // submitted but not finished tasks
 	wg      sync.WaitGroup
 	next    atomic.Uint64 // round-robin submission cursor
+	faults  *faultinject.Set
 
 	executed   atomic.Int64
 	steals     atomic.Int64
 	stealFails atomic.Int64
+	kills      atomic.Int64
+	revives    atomic.Int64
+	rescued    atomic.Int64
 }
 
 // worker is one executor lane.
@@ -55,6 +61,7 @@ type worker struct {
 	queue   []Task
 	running atomic.Bool
 	qlen    atomic.Int64 // published queue length for lock-free selection
+	offline atomic.Bool  // fail-stopped (Kill); executes and steals nothing
 }
 
 // Options configures optional pool behaviour.
@@ -63,6 +70,12 @@ type Options struct {
 	Groups []int
 	// IdleSleep is the idle worker's poll interval (default 50µs).
 	IdleSleep time.Duration
+	// Faults optionally arms chaos fault injection: each worker consults
+	// the set at the core-kill fault point (arg: its worker ID) once per
+	// loop turn, and a fail directive fail-stops it exactly like Kill.
+	// Probabilistic rules (op:kind%p@seed) make this a seeded chaos
+	// monkey. Nil is inert.
+	Faults *faultinject.Set
 }
 
 // NewPool starts n workers using policies from factory.
@@ -79,7 +92,7 @@ func NewPool(n int, factory Factory, opts Options) *Pool {
 	if opts.IdleSleep <= 0 {
 		opts.IdleSleep = 50 * time.Microsecond
 	}
-	p := &Pool{workers: make([]*worker, n)}
+	p := &Pool{workers: make([]*worker, n), faults: opts.Faults}
 	for i := range p.workers {
 		g := 0
 		if opts.Groups != nil {
@@ -119,6 +132,112 @@ func (p *Pool) SubmitTo(id int, t Task) {
 // Wait blocks until every submitted task has executed.
 func (p *Pool) Wait() { p.wg.Wait() }
 
+// Kill fail-stops a worker: it finishes its in-flight task (a real
+// goroutine cannot be preempted mid-call) and then executes nothing
+// further. Its queue is immediately offered to the policy's rescue rule
+// (sched.Rescuer); orphans the policy declines stay stranded on the
+// offline queue — and keep Wait blocked — until Revive. Killing the
+// last online worker is refused: a pool with no lanes can never drain.
+func (p *Pool) Kill(id int) error {
+	if id < 0 || id >= len(p.workers) {
+		return fmt.Errorf("engine: Kill(%d) of a %d-worker pool", id, len(p.workers))
+	}
+	w := p.workers[id]
+	if !w.offline.CompareAndSwap(false, true) {
+		return fmt.Errorf("engine: worker %d is already offline", id)
+	}
+	online := 0
+	for _, ow := range p.workers {
+		if !ow.offline.Load() {
+			online++
+		}
+	}
+	if online == 0 {
+		w.offline.Store(false)
+		return fmt.Errorf("engine: refusing to kill worker %d, the last online worker", id)
+	}
+	p.kills.Add(1)
+	w.rehome()
+	return nil
+}
+
+// Revive brings a killed worker back (hotplug add): it resumes running
+// whatever is still stranded on its queue.
+func (p *Pool) Revive(id int) error {
+	if id < 0 || id >= len(p.workers) {
+		return fmt.Errorf("engine: Revive(%d) of a %d-worker pool", id, len(p.workers))
+	}
+	if !p.workers[id].offline.CompareAndSwap(true, false) {
+		return fmt.Errorf("engine: worker %d is not offline", id)
+	}
+	p.revives.Add(1)
+	return nil
+}
+
+// rehome drains the dead worker's queue through the policy's rescue
+// rule, popping one orphan under the dead worker's lock and appending
+// it under the adopter's lock — never holding both, so it cannot
+// deadlock against concurrent steals. The first orphan the policy
+// declines (or a policy with no rescue rule at all) ends the drain and
+// strands the rest.
+func (w *worker) rehome() {
+	rescuer, ok := w.policy.(sched.Rescuer)
+	if !ok {
+		return
+	}
+	for {
+		w.mu.Lock()
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			return
+		}
+		t := w.queue[0]
+		w.queue = w.queue[1:]
+		w.qlen.Store(int64(len(w.queue)))
+		w.mu.Unlock()
+		if !w.place(t, rescuer) {
+			w.mu.Lock()
+			w.queue = append([]Task{t}, w.queue...)
+			w.qlen.Store(int64(len(w.queue)))
+			w.mu.Unlock()
+			return
+		}
+		w.pool.rescued.Add(1)
+	}
+}
+
+// place asks the rescue rule for one orphan's adopter and enqueues the
+// task there, re-selecting if the adopter was itself killed in between.
+// False means the policy declined or no online worker remains.
+func (w *worker) place(t Task, rescuer sched.Rescuer) bool {
+	for {
+		views := w.pool.snapshot()
+		var online []*sched.Core
+		for _, c := range views.Cores {
+			if !c.Offline {
+				online = append(online, c)
+			}
+		}
+		if len(online) == 0 {
+			return false
+		}
+		target := rescuer.RescueTarget(views.Cores[w.id], placeholderTask, online)
+		if target == nil {
+			return false
+		}
+		tw := w.pool.workers[target.ID]
+		tw.mu.Lock()
+		if tw.offline.Load() {
+			tw.mu.Unlock()
+			continue
+		}
+		tw.queue = append(tw.queue, t)
+		tw.qlen.Store(int64(len(tw.queue)))
+		tw.mu.Unlock()
+		return true
+	}
+}
+
 // Close stops the workers after the queues drain. The pool cannot be
 // reused.
 func (p *Pool) Close() {
@@ -132,20 +251,48 @@ type Stats struct {
 	// Steals counts migrated tasks; StealFails counts optimistic
 	// attempts that failed re-validation.
 	Steals, StealFails int64
+	// Kills and Revives count applied fault events; Rescued counts
+	// orphans the rescue rule re-homed at kill time; Orphaned counts
+	// tasks currently stranded on offline workers.
+	Kills, Revives, Rescued, Orphaned int64
 }
 
 // Stats returns the current counters.
 func (p *Pool) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Executed:   p.executed.Load(),
 		Steals:     p.steals.Load(),
 		StealFails: p.stealFails.Load(),
+		Kills:      p.kills.Load(),
+		Revives:    p.revives.Load(),
+		Rescued:    p.rescued.Load(),
 	}
+	for _, w := range p.workers {
+		if w.offline.Load() {
+			st.Orphaned += w.qlen.Load()
+		}
+	}
+	return st
 }
 
 // run is the worker main loop.
 func (w *worker) run(idleSleep time.Duration) {
 	for {
+		if w.offline.Load() {
+			// Fail-stopped: execute nothing until Revive, but still honor
+			// shutdown once every submitted task has drained elsewhere.
+			if w.pool.closed.Load() && w.pool.inflt.Load() == 0 {
+				return
+			}
+			time.Sleep(idleSleep)
+			continue
+		}
+		if d := w.pool.faults.Check(faultinject.OpCoreKill, strconv.Itoa(w.id)); d.Err != nil {
+			// Chaos self-kill; Kill refuses the last online worker, so an
+			// aggressive probabilistic rule cannot wedge the pool.
+			w.pool.Kill(w.id)
+			continue
+		}
 		t := w.popLocal()
 		if t == nil {
 			t = w.stealWork()
@@ -207,6 +354,14 @@ func (w *worker) stealWork() Task {
 	defer second.mu.Unlock()
 	defer first.mu.Unlock()
 
+	// The selection snapshot already skipped offline cores, but either
+	// side may have been killed since — re-validate like any other stale
+	// observation.
+	if w.offline.Load() || victim.offline.Load() {
+		w.pool.stealFails.Add(1)
+		return nil
+	}
+
 	thiefView := w.liveViewLocked()
 	victimView := victim.liveViewLocked()
 	if !w.policy.CanSteal(thiefView, victimView) {
@@ -256,7 +411,11 @@ func (w *worker) liveViewLocked() *sched.Core {
 }
 
 func (w *worker) viewAt(qlen int64, running bool) *sched.Core {
-	c := &sched.Core{ID: w.id, Group: w.group, Node: w.group, Ready: placeholders(int(qlen))}
+	c := &sched.Core{
+		ID: w.id, Group: w.group, Node: w.group,
+		Ready:   placeholders(int(qlen)),
+		Offline: w.offline.Load(),
+	}
 	if running {
 		c.Current = placeholderTask
 	}

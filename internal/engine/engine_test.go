@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/sched"
+	"repro/internal/service/faultinject"
 )
 
 func delta2Factory() sched.Policy { return policy.NewDelta2() }
@@ -241,5 +242,146 @@ func TestHierarchicalPolicyInPool(t *testing.T) {
 	p.Wait()
 	if count.Load() != 300 {
 		t.Fatalf("executed %d of 300", count.Load())
+	}
+}
+
+func rescueFactory() sched.Policy {
+	p, err := policy.New("delta2-rescue")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestKillRescuesQueuedTasks(t *testing.T) {
+	p := NewPool(4, rescueFactory, Options{})
+	defer p.Close()
+	// Pin worker 0 on a gate task so its queue is guaranteed non-empty
+	// when the kill lands, then verify the rescue rule re-homed every
+	// queued task onto the survivors.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var count atomic.Int64
+	p.SubmitTo(0, func() { close(started); <-gate })
+	<-started
+	const n = 40
+	for i := 0; i < n; i++ {
+		p.SubmitTo(0, func() { count.Add(1) })
+	}
+	if err := p.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	p.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("executed %d of %d after the kill", got, n)
+	}
+	st := p.Stats()
+	if st.Kills != 1 {
+		t.Errorf("Kills = %d, want 1", st.Kills)
+	}
+	if st.Rescued != n {
+		t.Errorf("Rescued = %d, want %d", st.Rescued, n)
+	}
+	if st.Orphaned != 0 {
+		t.Errorf("Orphaned = %d, want 0", st.Orphaned)
+	}
+}
+
+func TestKillWithoutRescueStrandsUntilRevive(t *testing.T) {
+	// The null policy neither steals nor rescues: a killed worker's queue
+	// is stranded — visible in Stats().Orphaned — until Revive brings the
+	// worker back to drain it.
+	p := NewPool(2, func() sched.Policy { return policy.NewNull() }, Options{})
+	defer p.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var count atomic.Int64
+	p.SubmitTo(0, func() { close(started); <-gate })
+	<-started
+	const n = 10
+	for i := 0; i < n; i++ {
+		p.SubmitTo(0, func() { count.Add(1) })
+	}
+	if err := p.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if st := p.Stats(); st.Orphaned != n {
+		t.Errorf("Orphaned = %d while worker 0 is down, want %d", st.Orphaned, n)
+	}
+	if err := p.Revive(0); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("executed %d of %d after revival", got, n)
+	}
+	st := p.Stats()
+	if st.Orphaned != 0 {
+		t.Errorf("Orphaned = %d after revival, want 0", st.Orphaned)
+	}
+	if st.Kills != 1 || st.Revives != 1 {
+		t.Errorf("Kills/Revives = %d/%d, want 1/1", st.Kills, st.Revives)
+	}
+}
+
+func TestKillReviveValidation(t *testing.T) {
+	p := NewPool(2, delta2Factory, Options{})
+	defer p.Close()
+	if err := p.Kill(-1); err == nil {
+		t.Error("Kill(-1) accepted")
+	}
+	if err := p.Kill(2); err == nil {
+		t.Error("Kill out of range accepted")
+	}
+	if err := p.Revive(0); err == nil {
+		t.Error("Revive of an online worker accepted")
+	}
+	if err := p.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Kill(0); err == nil {
+		t.Error("double Kill accepted")
+	}
+	if err := p.Kill(1); err == nil {
+		t.Error("Kill of the last online worker accepted")
+	}
+	if err := p.Revive(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Revive(0); err == nil {
+		t.Error("Revive of an online worker accepted")
+	}
+}
+
+func TestChaosCoreKillDrainsUnderRescue(t *testing.T) {
+	// A probabilistic core-kill chaos rule self-kills workers mid-run;
+	// the rescue rule keeps every task accounted for. The last-online
+	// guard means the pool can never wedge no matter how often it fires.
+	faults := faultinject.New(faultinject.Rule{
+		Op: faultinject.OpCoreKill, Kind: faultinject.KindFail, Prob: 0.05, Seed: 9,
+	})
+	p := NewPool(4, rescueFactory, Options{Faults: faults})
+	defer p.Close()
+	var count atomic.Int64
+	const n = 400
+	for i := 0; i < n; i++ {
+		p.SubmitTo(i%2, func() {
+			count.Add(1)
+			time.Sleep(50 * time.Microsecond)
+		})
+	}
+	p.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("executed %d of %d under chaos kills", got, n)
+	}
+	st := p.Stats()
+	t.Logf("chaos: kills=%d rescued=%d steals=%d", st.Kills, st.Rescued, st.Steals)
+	if st.Kills == 0 {
+		t.Error("p=0.05 chaos rule never fired over the run")
+	}
+	if st.Orphaned != 0 {
+		t.Errorf("Orphaned = %d after a drained run, want 0", st.Orphaned)
 	}
 }

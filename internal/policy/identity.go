@@ -8,7 +8,7 @@ import (
 
 // ComponentForms returns the spec's per-component content identity for
 // verification caching, keyed by the component names of sched.Policy
-// ("load", "filter", "choose", "steal" — the vocabulary of
+// ("load", "filter", "choose", "steal", "rescue" — the vocabulary of
 // verify.ObligationDeps).
 //
 // Specs carrying a DSL equivalence hash like a direct DSL submission:
@@ -28,8 +28,8 @@ import (
 func (s Spec) ComponentForms() (map[string]string, error) {
 	if s.DSL == "" {
 		opaque := "go:" + s.Name
-		forms := make(map[string]string, 4)
-		for _, comp := range []string{"load", "filter", "choose", "steal"} {
+		forms := make(map[string]string, 5)
+		for _, comp := range []string{"load", "filter", "choose", "steal", "rescue"} {
 			forms[comp] = opaque
 		}
 		return forms, nil

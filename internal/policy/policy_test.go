@@ -379,8 +379,8 @@ func TestDelta1AggressiveSwaps(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 10 {
-		t.Errorf("Names() = %v, want 10 policies", names)
+	if len(names) != 11 {
+		t.Errorf("Names() = %v, want 11 policies", names)
 	}
 	for _, n := range names {
 		p, err := New(n)

@@ -5,9 +5,31 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/dsl"
 	"repro/internal/sched"
 	"repro/internal/topology"
 )
+
+// delta2RescueDSL is the committed source of delta2-rescue; the registry
+// factory compiles it directly, so name and source submissions are the
+// same policy by construction.
+const delta2RescueDSL = `policy delta2_rescue {
+    load   = self.ready.size + self.current.size
+    filter = stealee.load - self.load >= 2
+    steal  = 1
+    choose = first
+    rescue = min_load
+}`
+
+// mustCompileDSL compiles registry-committed DSL source; the source is
+// code, not input, so failure is a programming error.
+func mustCompileDSL(src string) sched.Policy {
+	p, _, err := dsl.CompileSource(src)
+	if err != nil {
+		panic(fmt.Sprintf("policy: registry DSL does not compile: %v", err))
+	}
+	return p
+}
 
 // Factory constructs a fresh policy instance. Policies carrying per-round
 // caches (RoundObservers) are stateful, so every consumer that needs
@@ -231,6 +253,19 @@ func init() {
     steal  = 1
     choose = max_load
 }`,
+	})
+	// delta2-rescue is delta2 plus a rescue rule for fail-stop core
+	// faults: orphans of a failed core are adopted by the least-loaded
+	// online core. The factory compiles the DSL itself, so the Spec.DSL
+	// equivalence is exact by construction; the policy exists as the
+	// PROVE side of the fault obligations (no-task-lost,
+	// degraded-wasted-cores), with plain delta2 as the REFUTE side.
+	Register(Spec{
+		Name:       "delta2-rescue",
+		Factory:    func() sched.Policy { return mustCompileDSL(delta2RescueDSL) },
+		Provenance: ProvenanceProved,
+		Doc:        "delta2 plus a min_load rescue rule: orphans of failed cores are re-homed",
+		DSL:        delta2RescueDSL,
 	})
 	Register(Spec{
 		Name:            "numa-aware",

@@ -25,6 +25,12 @@ type Core struct {
 	Current *Task
 	// Ready is the runqueue: tasks waiting to run on this core.
 	Ready []*Task
+	// Offline marks a fail-stopped core: it executes nothing, steals
+	// nothing and is never chosen as a victim. Tasks still sitting on an
+	// offline core are orphans (see Machine.Orphans) until a rescue or a
+	// revive re-homes them. The zero value (online) keeps every healthy
+	// machine byte-identical to the pre-fault model.
+	Offline bool
 }
 
 // NewCore returns an empty core with the given ID on node/group 0.
@@ -71,7 +77,7 @@ func (c *Core) Overloaded() bool {
 
 // Clone returns a deep copy of the core.
 func (c *Core) Clone() *Core {
-	nc := &Core{ID: c.ID, Node: c.Node, Group: c.Group, Current: c.Current.Clone()}
+	nc := &Core{ID: c.ID, Node: c.Node, Group: c.Group, Current: c.Current.Clone(), Offline: c.Offline}
 	if len(c.Ready) > 0 {
 		nc.Ready = make([]*Task, len(c.Ready))
 		for i, t := range c.Ready {
@@ -145,6 +151,9 @@ func (c *Core) ScheduleLocal() *Task {
 func (c *Core) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "c%d[", c.ID)
+	if c.Offline {
+		b.WriteString("off ")
+	}
 	if c.Current != nil {
 		fmt.Fprintf(&b, "run:%v ", c.Current)
 	} else {

@@ -12,7 +12,29 @@ import (
 type Machine struct {
 	Cores []*Core
 
+	// Faults is an optional fail-stop fault script attached by the
+	// state-space enumerator: event i fires at round boundary i. The
+	// round executors never consult it — the verifier's degraded-mode
+	// checkers (and the backends' fault schedules) apply the events
+	// explicitly via FailCore/ReviveCore.
+	Faults []FaultEvent
+
 	nextID TaskID // next fresh task ID for Spawn
+}
+
+// FaultEvent is one fail-stop hotplug event: core Core goes offline
+// (Revive=false) or comes back online (Revive=true).
+type FaultEvent struct {
+	Core   int
+	Revive bool
+}
+
+// String renders the event as e.g. "fail(2)" or "revive(0)".
+func (e FaultEvent) String() string {
+	if e.Revive {
+		return fmt.Sprintf("revive(%d)", e.Core)
+	}
+	return fmt.Sprintf("fail(%d)", e.Core)
 }
 
 // NewMachine returns a machine with n empty cores on a flat topology.
@@ -135,11 +157,18 @@ func (m *Machine) OverloadedCores() []int {
 
 // WorkConserved reports whether the machine currently satisfies the
 // work-conservation predicate of §3.2: no core is idle while another core
-// is overloaded. The scheduler-level property (existence of a finite N of
-// rounds after which this holds) is checked by internal/verify.
+// is overloaded. Offline cores are outside the predicate — they neither
+// waste capacity by idling nor count as overloaded suppliers (their
+// stranded work is the degraded predicate's concern; see
+// DegradedWorkConserved). The scheduler-level property (existence of a
+// finite N of rounds after which this holds) is checked by
+// internal/verify.
 func (m *Machine) WorkConserved() bool {
 	idle, over := false, false
 	for _, c := range m.Cores {
+		if c.Offline {
+			continue
+		}
 		if c.Idle() {
 			idle = true
 		}
@@ -153,9 +182,89 @@ func (m *Machine) WorkConserved() bool {
 	return true
 }
 
-// Clone returns a deep copy of the machine.
+// DegradedWorkConserved is the wasted-cores invariant restated over the
+// online cores of a degraded machine: no online core may idle while
+// either an online core is overloaded or any task sits stranded on an
+// offline core. Counting orphans as waiting work is what separates a
+// rescue-capable policy from one that merely balances the survivors.
+// On a fully-online machine it coincides with WorkConserved.
+func (m *Machine) DegradedWorkConserved() bool {
+	idle, work := false, false
+	for _, c := range m.Cores {
+		if c.Offline {
+			if c.NThreads() > 0 {
+				work = true
+			}
+			continue
+		}
+		if c.Idle() {
+			idle = true
+		}
+		if c.Overloaded() {
+			work = true
+		}
+		if idle && work {
+			return false
+		}
+	}
+	return true
+}
+
+// FailCore fail-stops the core: it goes offline and its current task (if
+// any) is demoted to the runqueue, so every thread it owned becomes an
+// orphan awaiting rescue or revival. Failing an already-offline core is
+// a no-op.
+func (m *Machine) FailCore(id int) {
+	c := m.Cores[id]
+	if c.Offline {
+		return
+	}
+	c.Offline = true
+	if c.Current != nil {
+		// Head of the queue: the interrupted task restarts first on
+		// revival, and rescues drain from the tail like steals do.
+		c.Ready = append([]*Task{c.Current}, c.Ready...)
+		c.Current = nil
+	}
+}
+
+// ReviveCore brings a failed core back online (hotplug add). Its
+// stranded tasks become ordinary runnable work again. Reviving an online
+// core is a no-op.
+func (m *Machine) ReviveCore(id int) {
+	m.Cores[id].Offline = false
+}
+
+// OnlineCores counts the cores currently online.
+func (m *Machine) OnlineCores() int {
+	n := 0
+	for _, c := range m.Cores {
+		if !c.Offline {
+			n++
+		}
+	}
+	return n
+}
+
+// Orphans returns the tasks stranded on offline cores, in core order.
+func (m *Machine) Orphans() []*Task {
+	var ts []*Task
+	for _, c := range m.Cores {
+		if !c.Offline {
+			continue
+		}
+		if c.Current != nil {
+			ts = append(ts, c.Current)
+		}
+		ts = append(ts, c.Ready...)
+	}
+	return ts
+}
+
+// Clone returns a deep copy of the machine. The fault script is shared
+// (it is immutable once attached).
 func (m *Machine) Clone() *Machine {
-	nm := &Machine{Cores: make([]*Core, len(m.Cores)), nextID: m.nextID}
+	nm := &Machine{Cores: make([]*Core, len(m.Cores)), Faults: m.Faults, nextID: m.nextID}
 	for i, c := range m.Cores {
 		nm.Cores[i] = c.Clone()
 	}
@@ -165,14 +274,18 @@ func (m *Machine) Clone() *Machine {
 // Key returns a canonical encoding of the machine state for state-space
 // hashing. Tasks are interchangeable up to weight, so each core is encoded
 // as its current-task weight (0 if none) plus the sorted multiset of
-// queued weights. Core identity is preserved: policies may treat cores
-// asymmetrically (NUMA, groups), so states that differ only by a core
-// permutation are distinct keys.
+// queued weights; offline cores carry a '!' prefix (healthy machines
+// encode byte-identically to the pre-fault model). Core identity is
+// preserved: policies may treat cores asymmetrically (NUMA, groups), so
+// states that differ only by a core permutation are distinct keys.
 func (m *Machine) Key() string {
 	var b strings.Builder
 	for i, c := range m.Cores {
 		if i > 0 {
 			b.WriteByte('|')
+		}
+		if c.Offline {
+			b.WriteByte('!')
 		}
 		if c.Current != nil {
 			fmt.Fprintf(&b, "%d", c.Current.Weight)

@@ -1,5 +1,7 @@
 package sched
 
+import "fmt"
+
 // Policy is the paper's scheduling-policy abstraction, decomposed into the
 // three steps of Figure 1 plus a user-defined load metric (Listing 1):
 //
@@ -57,6 +59,69 @@ type Policy interface {
 // must treat the view as read-only.
 type RoundObserver interface {
 	BeginRound(view *Machine)
+}
+
+// Rescuer is an optional Policy extension for policies that react to
+// fail-stop core faults: when a core goes offline, RescueTarget picks
+// the online core that should adopt one of the orphaned tasks. It is
+// invoked once per orphan (candidates is never empty and never contains
+// the failed core); the returned core must be one of the candidates, or
+// nil to leave the task stranded until the core revives. Policies
+// without this extension ignore orphans entirely — the behavior the
+// no-task-lost obligation exists to refute.
+type Rescuer interface {
+	RescueTarget(failed *Core, task *Task, candidates []*Core) *Core
+}
+
+// Rescue applies a policy's rescue rule to every task stranded on the
+// given failed core: each orphan the policy re-homes is appended to its
+// target's runqueue (in orphan order — interrupted task first, then the
+// queue head-first). It returns the number of tasks re-homed. Policies
+// that are not Rescuers (or machines with no online core) rescue
+// nothing.
+func Rescue(p Policy, m *Machine, failedCore int) int {
+	r, ok := p.(Rescuer)
+	if !ok {
+		return 0
+	}
+	failed := m.Core(failedCore)
+	if !failed.Offline {
+		return 0
+	}
+	var online []*Core
+	for _, c := range m.Cores {
+		if !c.Offline {
+			online = append(online, c)
+		}
+	}
+	if len(online) == 0 {
+		return 0
+	}
+	moved := 0
+	// Drain head-first so FailCore's ordering (interrupted task first)
+	// is the rescue order too.
+	for len(failed.Ready) > 0 {
+		t := failed.Ready[0]
+		target := r.RescueTarget(failed, t, online)
+		if target == nil {
+			break
+		}
+		found := false
+		for _, c := range online {
+			if c == target {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sched: policy %q RescueTarget returned core %d, not among online candidates",
+				p.Name(), target.ID))
+		}
+		failed.Pop()
+		target.Push(t)
+		moved++
+	}
+	return moved
 }
 
 // TaskPicker is an optional Policy extension for policies that must steal
@@ -137,6 +202,9 @@ type FuncPolicy struct {
 	FilterFn   func(thief, stealee *Core) bool
 	ChooseFn   ChooseFunc
 	CountFn    func(thief, stealee *Core) int
+	// RescueFn, when non-nil, makes the policy a Rescuer: it picks the
+	// online core that adopts an orphan of a failed core.
+	RescueFn func(failed *Core, task *Task, candidates []*Core) *Core
 }
 
 // Name implements Policy.
@@ -164,4 +232,14 @@ func (p *FuncPolicy) StealCount(thief, stealee *Core) int {
 		return 1
 	}
 	return p.CountFn(thief, stealee)
+}
+
+// RescueTarget implements Rescuer. Without a RescueFn the policy leaves
+// orphans stranded (returns nil), which is the semantics of a policy
+// with no rescue rule.
+func (p *FuncPolicy) RescueTarget(failed *Core, task *Task, candidates []*Core) *Core {
+	if p.RescueFn == nil {
+		return nil
+	}
+	return p.RescueFn(failed, task, candidates)
 }

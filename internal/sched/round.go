@@ -116,9 +116,16 @@ func Select(p Policy, view *Machine, thiefID int) Attempt {
 	}
 	thief := view.Core(thiefID)
 	att := Attempt{Thief: thiefID, Victim: -1}
+	if thief.Offline {
+		// A fail-stopped core runs nothing, including the balancer.
+		att.Reason = FailNoCandidate
+		return att
+	}
 	var candidates []*Core
 	for _, c := range view.Cores {
-		if c.ID == thiefID {
+		if c.ID == thiefID || c.Offline {
+			// Offline cores are not victims: their runqueues are
+			// unreachable until a rescue or revive re-homes the work.
 			continue
 		}
 		if p.CanSteal(thief, c) {
@@ -163,6 +170,13 @@ func Steal(p Policy, m *Machine, att *Attempt) {
 	}
 	thief := m.Core(att.Thief)
 	victim := m.Core(att.Victim)
+	// A core that fail-stopped since selection can neither steal nor be
+	// stolen from — the stale decision dies at re-validation, like any
+	// other invalidated optimistic selection.
+	if thief.Offline || victim.Offline {
+		att.Reason = FailRevalidation
+		return
+	}
 	// Listing 1 line 12: the optimistic selection must be re-validated
 	// under locks, because another core may have stolen from the victim
 	// (or handed work to the thief) since the lock-free phase.

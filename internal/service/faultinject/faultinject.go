@@ -2,7 +2,8 @@
 // hidden -faults flag and the service's WithFaults option: a rule set
 // that injects failures at named fault points — disk write errors and
 // torn (partial) WAL writes in the durable store, checker panics and
-// artificial stalls in the verification workers.
+// artificial stalls in the verification workers, and fail-stop core
+// kills in the work-stealing executor (internal/engine).
 //
 // Production code consults a *Set at each fault point via Check; a nil
 // Set is inert and costs one nil comparison, so the hooks stay in the
@@ -38,6 +39,11 @@ const (
 	OpChecker Op = "checker"
 	// OpWorker fires when a job worker picks up a job.
 	OpWorker Op = "worker"
+	// OpCoreKill fires in each executor worker's run loop (see
+	// internal/engine); its arg is the worker ID. A fail directive
+	// fail-stops that worker, so probabilistic rules drive chaos-style
+	// core kills.
+	OpCoreKill Op = "core-kill"
 )
 
 // Kind is what happens when a rule fires.
@@ -74,6 +80,14 @@ type Rule struct {
 	// On makes the rule fire only on the On-th matching occurrence
 	// (1-based). Zero fires on every occurrence.
 	On int
+	// Prob, when in (0, 1], makes the rule probabilistic: every matching
+	// occurrence fires independently with this probability, drawn from a
+	// per-rule deterministic xorshift stream — the same seed always
+	// yields the same fire pattern, so probabilistic chaos runs stay
+	// reproducible. A probabilistic rule ignores On.
+	Prob float64
+	// Seed seeds the probabilistic stream; zero selects a fixed default.
+	Seed int64
 }
 
 // Directive tells a fault point what to do: Err non-nil means fail the
@@ -95,6 +109,25 @@ type Set struct {
 type ruleState struct {
 	Rule
 	seen int
+	rng  uint64 // probabilistic-mode xorshift state, lazily seeded
+}
+
+// roll advances the rule's deterministic stream and reports whether
+// this occurrence fires. The caller holds Set.mu.
+func (r *ruleState) roll() bool {
+	if r.rng == 0 {
+		r.rng = uint64(r.Seed)
+		if r.rng == 0 {
+			r.rng = 0x9E3779B97F4A7C15 // golden-ratio default seed
+		}
+	}
+	x := r.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.rng = x
+	// Top 53 bits as a uniform fraction in [0, 1).
+	return float64(x>>11)/(1<<53) < r.Prob
 }
 
 // New arms a rule set.
@@ -119,6 +152,13 @@ func (s *Set) Check(op Op, arg string) Directive {
 	var hit *ruleState
 	for _, r := range s.rules {
 		if r.Op != op || (r.Match != "" && r.Match != arg) {
+			continue
+		}
+		if r.Prob > 0 {
+			if r.roll() {
+				hit = r
+				break
+			}
 			continue
 		}
 		r.seen++
@@ -161,20 +201,25 @@ func (s *Set) Fired() map[string]int64 {
 	return out
 }
 
-var knownOps = []Op{OpWALAppend, OpWALTruncate, OpSnapshotWrite, OpSnapshotRename, OpChecker, OpWorker}
+var knownOps = []Op{OpWALAppend, OpWALTruncate, OpSnapshotWrite, OpSnapshotRename, OpChecker, OpWorker, OpCoreKill}
 
 // Parse builds a Set from the -faults flag's comma-separated spec.
-// Each element is op:kind[=arg][@n]:
+// Each element is op:kind[=arg][@n] or, probabilistically,
+// op:kind[=arg]%p[@seed]:
 //
 //	wal-append:fail@3          fail the 3rd WAL append
 //	wal-append:torn=5@2        2nd append persists 5 bytes, then fails
 //	checker:panic=lemma1       panic every lemma1 checker run
 //	worker:stall=200ms         stall every job pickup 200ms
 //	snapshot-rename:fail       fail every snapshot rename
+//	core-kill:fail%0.01@42     kill ~1% of worker loop turns, seed 42
 //
 // The kind argument is the torn byte count (torn), the stall duration
-// (stall), or the fault point's match filter (fail, panic). An empty
-// spec yields an inert empty set.
+// (stall), or the fault point's match filter (fail, panic). With %p
+// present (p in (0, 1]) each matching occurrence fires independently
+// with probability p from a deterministic per-rule stream, and the @n
+// suffix is the stream's seed rather than an occurrence count. An
+// empty spec yields an inert empty set.
 func Parse(spec string) (*Set, error) {
 	s := New()
 	if strings.TrimSpace(spec) == "" {
@@ -193,13 +238,31 @@ func Parse(spec string) (*Set, error) {
 func parseRule(elem string) (Rule, error) {
 	var r Rule
 	body := elem
+	suffix := ""
 	if at := strings.LastIndex(body, "@"); at >= 0 {
-		n, err := strconv.Atoi(body[at+1:])
+		suffix = body[at+1:]
+		body = body[:at]
+	}
+	if pct := strings.LastIndex(body, "%"); pct >= 0 {
+		p, err := strconv.ParseFloat(body[pct+1:], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return r, fmt.Errorf("faultinject: bad probability in %q (want %%p with 0 < p <= 1)", elem)
+		}
+		r.Prob = p
+		body = body[:pct]
+		if suffix != "" {
+			seed, err := strconv.ParseInt(suffix, 10, 64)
+			if err != nil {
+				return r, fmt.Errorf("faultinject: bad seed in %q (a probabilistic rule's @n is its stream seed)", elem)
+			}
+			r.Seed = seed
+		}
+	} else if suffix != "" {
+		n, err := strconv.Atoi(suffix)
 		if err != nil || n < 1 {
 			return r, fmt.Errorf("faultinject: bad occurrence in %q (want @n with n >= 1)", elem)
 		}
 		r.On = n
-		body = body[:at]
 	}
 	opStr, rest, ok := strings.Cut(body, ":")
 	if !ok {

@@ -110,19 +110,111 @@ func TestParseEmptySpecIsInert(t *testing.T) {
 
 func TestParseRejectsBadSpecs(t *testing.T) {
 	for _, spec := range []string{
-		"nonsense",                // no kind
-		"frobnicate:fail",         // unknown op
-		"wal-append:explode",      // unknown kind
-		"wal-append:fail@0",       // occurrence must be >= 1
-		"wal-append:fail@x",       // non-numeric occurrence
-		"wal-append:torn=banana",  // bad byte count
-		"wal-append:torn=-1",      // negative byte count
-		"worker:stall=fast",       // bad duration
-		"worker:stall=-1s",        // negative duration
-		"wal-append:fail,,",       // empty element
+		"nonsense",               // no kind
+		"frobnicate:fail",        // unknown op
+		"wal-append:explode",     // unknown kind
+		"wal-append:fail@0",      // occurrence must be >= 1
+		"wal-append:fail@x",      // non-numeric occurrence
+		"wal-append:torn=banana", // bad byte count
+		"wal-append:torn=-1",     // negative byte count
+		"worker:stall=fast",      // bad duration
+		"worker:stall=-1s",       // negative duration
+		"wal-append:fail,,",      // empty element
+		"wal-append:fail%0",      // probability must be in (0,1]
+		"wal-append:fail%1.5",    // probability above 1
+		"wal-append:fail%-0.1",   // negative probability
+		"wal-append:fail%banana", // non-numeric probability
+		"wal-append:fail%0.5@x",  // non-numeric seed
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted a bad spec", spec)
 		}
+	}
+}
+
+func TestParseProbabilisticGrammar(t *testing.T) {
+	s, err := Parse("core-kill:fail%0.01@42, worker:stall=5ms%0.5, checker:fail=lemma1%1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: OpCoreKill, Kind: KindFail, Prob: 0.01, Seed: 42},
+		{Op: OpWorker, Kind: KindStall, Delay: 5 * time.Millisecond, Prob: 0.5},
+		{Op: OpChecker, Kind: KindFail, Match: "lemma1", Prob: 1},
+	}
+	if len(s.rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(s.rules), len(want))
+	}
+	for i, w := range want {
+		if s.rules[i].Rule != w {
+			t.Errorf("rule %d = %+v, want %+v", i, s.rules[i].Rule, w)
+		}
+	}
+}
+
+func TestProbabilisticDeterministicPerSeed(t *testing.T) {
+	// Same seed, same stream: two sets built from the same spec fire on
+	// exactly the same Check sequence positions.
+	pattern := func() []bool {
+		s := New(Rule{Op: OpWorker, Kind: KindFail, Prob: 0.3, Seed: 7})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Check(OpWorker, "").Err != nil
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire pattern diverged at check %d with identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.3 fired %d/%d times — stream is degenerate", fired, len(a))
+	}
+
+	// A different seed must give a different pattern (overwhelmingly).
+	s := New(Rule{Op: OpWorker, Kind: KindFail, Prob: 0.3, Seed: 8})
+	same := true
+	for i := range a {
+		if (s.Check(OpWorker, "").Err != nil) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical 200-check fire patterns")
+	}
+}
+
+func TestProbabilisticRateRoughlyHonored(t *testing.T) {
+	const n = 4000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		s := New(Rule{Op: OpWorker, Kind: KindFail, Prob: p, Seed: 1})
+		fired := 0
+		for i := 0; i < n; i++ {
+			if s.Check(OpWorker, "").Err != nil {
+				fired++
+			}
+		}
+		got := float64(fired) / n
+		if got < p-0.05 || got > p+0.05 {
+			t.Errorf("p=%.1f fired at rate %.3f over %d checks", p, got, n)
+		}
+	}
+}
+
+func TestProbabilisticAlwaysFiresAtOne(t *testing.T) {
+	s := New(Rule{Op: OpCoreKill, Kind: KindFail, Prob: 1})
+	for i := 0; i < 50; i++ {
+		if d := s.Check(OpCoreKill, "3"); !errors.Is(d.Err, ErrInjected) {
+			t.Fatalf("p=1 rule did not fire on check %d", i)
+		}
+	}
+	if s.Fired()["core-kill:fail"] != 50 {
+		t.Errorf("Fired() = %v, want 50 core-kill:fail", s.Fired())
 	}
 }

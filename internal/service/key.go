@@ -36,10 +36,12 @@ func obligationKey(forms map[string]string, u statespace.Universe, id verify.Obl
 		writeField(h, string(comp))
 		writeField(h, forms[string(comp)])
 	}
-	if id == verify.ObWorkConservSeq {
+	if id == verify.ObWorkConservSeq || id == verify.ObNoTaskLost || id == verify.ObDegradedWastedCores {
 		// The sequential work-conservation search gives up (REFUTED)
-		// after MaxRounds rounds, so the bound is part of that verdict's
-		// identity. The other checkers never read it.
+		// after MaxRounds rounds, and the fault obligations use the same
+		// bound as the re-home/recovery deadline, so for these three the
+		// bound is part of the verdict's identity. The other checkers
+		// never read it.
 		if maxRounds <= 0 {
 			maxRounds = 1000
 		}

@@ -129,6 +129,70 @@ func TestObligationKeyDistinctions(t *testing.T) {
 	}
 }
 
+func TestFaultUniverseMemoizesSeparatelyAndReplaysWarm(t *testing.T) {
+	// MaxFaults is part of the canonical universe, so a fault-extended
+	// run memoizes in its own cells: the healthy run's cache must not
+	// answer for it, and its own warm resubmission must be a pure,
+	// byte-identical cache hit.
+	s := MustNew(Config{})
+	defer s.Close()
+
+	healthy := UniverseSpec{Cores: 3, MaxPerCore: 2, MaxTotal: 4, IncludeUnscheduled: true}
+	faulty := healthy
+	faulty.MaxFaults = 1
+
+	submitWait(t, s, Request{Policy: "delta2-rescue", Universe: &healthy})
+	entries := s.Stats().CacheEntries
+
+	cold := submitWait(t, s, Request{Policy: "delta2-rescue", Universe: &faulty})
+	if !cold.Passed() {
+		t.Fatalf("delta2-rescue refuted under faults:\n%s", cold)
+	}
+	st := s.Stats()
+	if st.CacheEntries != 2*entries {
+		t.Errorf("fault universe shared the healthy cache: %d entries, want %d", st.CacheEntries, 2*entries)
+	}
+
+	rep, job, err := s.Submit(Request{Policy: "delta2-rescue", Universe: &faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		waitDone(t, job)
+		t.Fatal("warm fault-universe resubmission queued a job instead of hitting the cache")
+	}
+	coldJSON, err := verify.ReportJSON(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := verify.ReportJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("warm fault-universe report differs from cold:\n%s\nvs\n%s", coldJSON, warmJSON)
+	}
+
+	// The refuted side memoizes its witnesses just the same.
+	refuted := submitWait(t, s, Request{Policy: "delta2", Universe: &faulty})
+	if refuted.Passed() {
+		t.Fatal("delta2 (no rescue rule) passed under faults")
+	}
+	warmRefuted, job, err := s.Submit(Request{Policy: "delta2", Universe: &faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRefuted == nil {
+		waitDone(t, job)
+		t.Fatal("warm refuted resubmission queued a job")
+	}
+	a, _ := verify.ReportJSON(refuted)
+	b, _ := verify.ReportJSON(warmRefuted)
+	if !bytes.Equal(a, b) {
+		t.Errorf("warm refuted report differs from cold:\n%s\nvs\n%s", a, b)
+	}
+}
+
 // A one-clause DSL edit re-runs exactly the obligations whose checkers
 // consult that clause — the acceptance criterion, observed through the
 // stats endpoint's hit/miss counters.
@@ -144,20 +208,20 @@ func TestDeltaInvalidation(t *testing.T) {
 }`
 	submitWait(t, s, Request{Source: base})
 	st0 := s.Stats()
-	if st0.CacheMisses != 8 || st0.CacheHits != 0 {
-		t.Fatalf("cold run: hits=%d misses=%d, want 0/8", st0.CacheHits, st0.CacheMisses)
+	if st0.CacheMisses != 10 || st0.CacheHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/10", st0.CacheHits, st0.CacheMisses)
 	}
 
 	// Whitespace/comment edit: zero new work.
 	submitWait(t, s, Request{Source: "# cosmetic\n" + base})
 	st1 := s.Stats()
-	if st1.CacheMisses != st0.CacheMisses || st1.CacheHits != st0.CacheHits+8 {
-		t.Errorf("cosmetic edit: hits %d->%d misses %d->%d, want +8 hits, +0 misses",
+	if st1.CacheMisses != st0.CacheMisses || st1.CacheHits != st0.CacheHits+10 {
+		t.Errorf("cosmetic edit: hits %d->%d misses %d->%d, want +10 hits, +0 misses",
 			st0.CacheHits, st1.CacheHits, st0.CacheMisses, st1.CacheMisses)
 	}
 
 	// Steal-clause edit: lemma1 is the only obligation that never looks
-	// at steal sizing, so exactly 7 obligations re-run.
+	// at steal sizing, so exactly 9 obligations re-run.
 	submitWait(t, s, Request{Source: `policy p {
     load   = self.nthreads
     filter = stealee.load - self.load >= 2
@@ -165,13 +229,14 @@ func TestDeltaInvalidation(t *testing.T) {
     choose = first
 }`})
 	st2 := s.Stats()
-	if st2.CacheHits != st1.CacheHits+1 || st2.CacheMisses != st1.CacheMisses+7 {
-		t.Errorf("steal edit: +%d hits +%d misses, want +1/+7",
+	if st2.CacheHits != st1.CacheHits+1 || st2.CacheMisses != st1.CacheMisses+9 {
+		t.Errorf("steal edit: +%d hits +%d misses, want +1/+9",
 			st2.CacheHits-st1.CacheHits, st2.CacheMisses-st1.CacheMisses)
 	}
 
-	// Choose-clause edit (against base): only the four round-executing
-	// obligations consult Choose.
+	// Choose-clause edit (against base): only the six round-executing
+	// obligations (the four steady-state ones plus the two fault
+	// obligations) consult Choose.
 	submitWait(t, s, Request{Source: `policy p {
     load   = self.nthreads
     filter = stealee.load - self.load >= 2
@@ -179,8 +244,8 @@ func TestDeltaInvalidation(t *testing.T) {
     choose = max_load
 }`})
 	st3 := s.Stats()
-	if st3.CacheHits != st2.CacheHits+4 || st3.CacheMisses != st2.CacheMisses+4 {
-		t.Errorf("choose edit: +%d hits +%d misses, want +4/+4",
+	if st3.CacheHits != st2.CacheHits+4 || st3.CacheMisses != st2.CacheMisses+6 {
+		t.Errorf("choose edit: +%d hits +%d misses, want +4/+6",
 			st3.CacheHits-st2.CacheHits, st3.CacheMisses-st2.CacheMisses)
 	}
 }
@@ -328,10 +393,10 @@ func TestSubmitValidation(t *testing.T) {
 	s := MustNew(Config{})
 	defer s.Close()
 	bad := []Request{
-		{},                                     // no policy at all
-		{Policy: "delta2", Source: "policy"},   // both sources
-		{Policy: "nope"},                       // unknown name
-		{Source: "policy x {"},                 // broken DSL
+		{},                                   // no policy at all
+		{Policy: "delta2", Source: "policy"}, // both sources
+		{Policy: "nope"},                     // unknown name
+		{Source: "policy x {"},               // broken DSL
 		{Policy: "delta2", Obligations: []string{"bogus"}},            // unknown obligation
 		{Policy: "delta2", Obligations: []string{"lemma1", "lemma1"}}, // duplicate
 		{Policy: "delta2", Universe: &UniverseSpec{Cores: -1}},        // bad universe

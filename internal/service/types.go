@@ -13,7 +13,7 @@ import (
 // Request is one verification submission: a policy given either by
 // registered name or as DSL source, a bounded universe (nil selects the
 // verifier's default 3-core/5-thread universe), and an optional
-// obligation subset (nil means all eight).
+// obligation subset (nil means all).
 type Request struct {
 	// Policy names a registered policy.Spec (mutually exclusive with
 	// Source).
@@ -48,6 +48,7 @@ type UniverseSpec struct {
 	Weights            []int64 `json:"weights,omitempty"`
 	IncludeUnscheduled bool    `json:"include_unscheduled"`
 	Groups             []int   `json:"groups,omitempty"`
+	MaxFaults          int     `json:"max_faults,omitempty"`
 }
 
 // Universe converts the wire form.
@@ -59,6 +60,7 @@ func (u UniverseSpec) Universe() statespace.Universe {
 		Weights:            u.Weights,
 		IncludeUnscheduled: u.IncludeUnscheduled,
 		Groups:             u.Groups,
+		MaxFaults:          u.MaxFaults,
 	}
 }
 
@@ -71,6 +73,7 @@ func UniverseSpecOf(u statespace.Universe) UniverseSpec {
 		Weights:            u.Weights,
 		IncludeUnscheduled: u.IncludeUnscheduled,
 		Groups:             u.Groups,
+		MaxFaults:          u.MaxFaults,
 	}
 }
 

@@ -21,6 +21,10 @@ const (
 	evSpawn
 	// evBalance fires a load-balancing round.
 	evBalance
+	// evFail fail-stops a core (see Simulator.FailAt).
+	evFail
+	// evRevive brings an offline core back (see Simulator.ReviveAt).
+	evRevive
 )
 
 // event is one scheduled simulator event. seq breaks time ties
@@ -30,7 +34,7 @@ type event struct {
 	seq  uint64
 	kind eventKind
 
-	core    int    // evSliceEnd: the core; evSpawn: arrival core
+	core    int    // evSliceEnd: the core; evSpawn: arrival core; evFail/evRevive: the core
 	task    int64  // evSliceEnd/evWake/evSpawn: the task
 	runSeq  uint64 // evSliceEnd: validity token (stale slices are ignored)
 	spawnID int    // evSpawn: index into pending spawn descriptors

@@ -79,6 +79,8 @@ type Simulator struct {
 	steals      metrics.Counter
 	stealFails  metrics.Counter
 	rounds      metrics.Counter
+	faults      metrics.Counter
+	rescued     metrics.Counter
 	latency     *metrics.Histogram
 	waitTime    *metrics.Histogram
 	violations  *metrics.ViolationTracker
@@ -179,6 +181,33 @@ func (s *Simulator) SpawnAt(t int64, core int, weight int64, b Behavior) {
 	s.post(&event{time: t, kind: evSpawn, core: core, spawnID: len(s.spawn) - 1})
 }
 
+// FailAt schedules a fail-stop fault: at time t, the core goes offline.
+// Whatever it was running is preempted (the task keeps its unfinished
+// work) and joins the core's runqueue; the queue is then re-homed
+// through the policy's rescue rule when it has one, or stranded on the
+// offline core until a ReviveAt.
+func (s *Simulator) FailAt(t int64, core int) {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("sim: FailAt on core %d of %d", core, s.cfg.Cores))
+	}
+	if t < s.clock {
+		panic(fmt.Sprintf("sim: FailAt(%d) in the past (clock %d)", t, s.clock))
+	}
+	s.post(&event{time: t, kind: evFail, core: core})
+}
+
+// ReviveAt schedules a hotplug recovery: at time t, the core rejoins
+// and resumes running whatever is still queued on it.
+func (s *Simulator) ReviveAt(t int64, core int) {
+	if core < 0 || core >= s.cfg.Cores {
+		panic(fmt.Sprintf("sim: ReviveAt on core %d of %d", core, s.cfg.Cores))
+	}
+	if t < s.clock {
+		panic(fmt.Sprintf("sim: ReviveAt(%d) in the past (clock %d)", t, s.clock))
+	}
+	s.post(&event{time: t, kind: evRevive, core: core})
+}
+
 func (s *Simulator) post(e *event) {
 	s.seq++
 	e.seq = s.seq
@@ -217,6 +246,10 @@ func (s *Simulator) RunContext(ctx context.Context, until int64) (Stats, error) 
 			s.handleWake(e)
 		case evBalance:
 			s.handleBalance()
+		case evFail:
+			s.handleFail(e)
+		case evRevive:
+			s.handleRevive(e)
 		}
 		s.observe()
 	}
@@ -230,6 +263,14 @@ func (s *Simulator) observe() {
 	idle := 0
 	over := false
 	for _, c := range s.m.Cores {
+		if c.Offline {
+			// An offline core is not idle capacity, but work stranded on
+			// it makes every online idle core a violation.
+			if c.NThreads() > 0 {
+				over = true
+			}
+			continue
+		}
 		if c.Idle() {
 			idle++
 		}
@@ -274,7 +315,7 @@ func (s *Simulator) nextAction(ts *taskState) {
 // first tries one immediate steal.
 func (s *Simulator) startIfIdle(core int) {
 	c := s.m.Core(core)
-	if c.Current != nil {
+	if c.Offline || c.Current != nil {
 		return
 	}
 	if len(c.Ready) == 0 && s.cfg.IdleBalance {
@@ -395,6 +436,17 @@ func (s *Simulator) handleWake(e *event) {
 		return
 	}
 	core := ts.lastCore // wake where the task last ran (cache locality)
+	if s.m.Core(core).Offline {
+		// The task's home core fail-stopped while it was blocked: wake
+		// on the lowest-ID online core instead of stranding it.
+		for id := 0; id < s.cfg.Cores; id++ {
+			if !s.m.Core(id).Offline {
+				core = id
+				break
+			}
+		}
+		ts.lastCore = core
+	}
 	ts.status = statusReady
 	ts.readySince = s.clock
 	s.nextAction(ts)
@@ -432,6 +484,64 @@ func (s *Simulator) idleBalance(core int) {
 	} else {
 		s.stealFails.Inc()
 	}
+}
+
+// handleFail fail-stops a core. The running task is preempted by the
+// fault — its pending evSliceEnd goes stale through the status check,
+// and it keeps whatever work its interrupted slice left unfinished —
+// then the whole queue is offered to the policy's rescue rule. Without
+// one the tasks stay stranded on the offline core (the runtime shadow
+// of a no-task-lost refutation) until a revive.
+func (s *Simulator) handleFail(e *event) {
+	c := s.m.Core(e.core)
+	if c.Offline {
+		return
+	}
+	s.faults.Inc()
+	if cur := c.Current; cur != nil {
+		ts := s.tasks[int64(cur.ID)]
+		ts.remaining -= s.clock - ts.sliceStart
+		if ts.remaining < 1 {
+			ts.remaining = 1
+		}
+		ts.status = statusReady
+		ts.readySince = s.clock
+	}
+	s.m.FailCore(e.core)
+	orphans := make(map[int64]bool, len(c.Ready))
+	for _, t := range c.Ready {
+		orphans[int64(t.ID)] = true
+	}
+	moved := sched.Rescue(s.cfg.Policy, s.m, e.core)
+	s.emit(trace.KindFail, e.core, -1, int64(moved))
+	if moved == 0 {
+		return
+	}
+	s.rescued.Add(int64(moved))
+	for _, oc := range s.m.Cores {
+		if oc.Offline {
+			continue
+		}
+		for _, t := range oc.Ready {
+			if orphans[int64(t.ID)] {
+				s.tasks[int64(t.ID)].lastCore = oc.ID
+			}
+		}
+		s.startIfIdle(oc.ID)
+	}
+}
+
+// handleRevive brings an offline core back. Tasks stranded on it become
+// runnable again immediately.
+func (s *Simulator) handleRevive(e *event) {
+	c := s.m.Core(e.core)
+	if !c.Offline {
+		return
+	}
+	s.faults.Inc()
+	s.m.ReviveCore(e.core)
+	s.emit(trace.KindRevive, e.core, -1, int64(len(c.Ready)))
+	s.startIfIdle(e.core)
 }
 
 func (s *Simulator) handleBalance() {

@@ -358,3 +358,101 @@ func TestRNGPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestFailCoreRescuesQueuedTasks(t *testing.T) {
+	rescue, err := policy.New("delta2-rescue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Cores: 3, Policy: rescue, Seed: 42})
+	// Nine tasks land on core 0; it fail-stops before the first balance
+	// round (t=4000), so the rescue rule — not stealing — must re-home
+	// the whole queue onto cores 1 and 2.
+	for i := 0; i < 9; i++ {
+		s.SpawnAt(0, 0, 1024, RunOnce(5000))
+	}
+	s.FailAt(2000, 0)
+	st := s.Run(200_000)
+	if st.Completed != 9 {
+		t.Fatalf("Completed = %d, want 9 (orphans lost to the failure)", st.Completed)
+	}
+	if st.Faults != 1 {
+		t.Errorf("Faults = %d, want 1", st.Faults)
+	}
+	if st.Rescued == 0 {
+		t.Error("no tasks counted as rescued despite the loaded core failing")
+	}
+	if st.Orphaned != 0 {
+		t.Errorf("Orphaned = %d after the run, want 0", st.Orphaned)
+	}
+}
+
+func TestFailCoreWithoutRescueStrandsUntilRevive(t *testing.T) {
+	// Null policy: no stealing, no rescue rule. The failed core's tasks
+	// are stranded — visible as Orphaned mid-run — until the scripted
+	// revival brings the core and its queue back.
+	s := New(Config{Cores: 2, Policy: policy.NewNull(), Seed: 1})
+	for i := 0; i < 4; i++ {
+		s.SpawnAt(0, 0, 1024, RunOnce(1000))
+	}
+	s.FailAt(500, 0)
+	s.ReviveAt(10_000, 0)
+
+	st := s.Run(5000) // past the failure, before the revival
+	if st.Completed != 0 {
+		t.Fatalf("Completed = %d before revival under a no-steal policy, want 0", st.Completed)
+	}
+	if st.Orphaned != 4 {
+		t.Errorf("Orphaned = %d while core 0 is down, want 4", st.Orphaned)
+	}
+
+	st = s.Run(100_000)
+	if st.Completed != 4 {
+		t.Fatalf("Completed = %d after revival, want 4", st.Completed)
+	}
+	if st.Orphaned != 0 {
+		t.Errorf("Orphaned = %d after revival, want 0", st.Orphaned)
+	}
+	if st.Faults != 2 {
+		t.Errorf("Faults = %d, want 2 (one fail + one revive)", st.Faults)
+	}
+	if st.Rescued != 0 {
+		t.Errorf("Rescued = %d under a rescue-less policy, want 0", st.Rescued)
+	}
+}
+
+func TestFailAndReviveEmitTraceEvents(t *testing.T) {
+	ring := trace.NewRing(64)
+	s := New(Config{Cores: 2, Policy: policy.NewDelta2(), Ring: ring, Seed: 1})
+	s.SpawnAt(0, 0, 1024, RunOnce(2000))
+	s.FailAt(500, 1)
+	s.ReviveAt(1500, 1)
+	s.Run(10_000)
+	fails, revives := ring.Filter(trace.KindFail), ring.Filter(trace.KindRevive)
+	if len(fails) != 1 || fails[0].Core != 1 || fails[0].Time != 500 {
+		t.Errorf("fail events = %+v, want one on core 1 at t=500", fails)
+	}
+	if len(revives) != 1 || revives[0].Core != 1 || revives[0].Time != 1500 {
+		t.Errorf("revive events = %+v, want one on core 1 at t=1500", revives)
+	}
+}
+
+func TestFailReviveValidation(t *testing.T) {
+	s := newSim(2)
+	s.Run(1000)
+	for name, f := range map[string]func(){
+		"fail core out of range":   func() { s.FailAt(2000, 2) },
+		"revive core out of range": func() { s.ReviveAt(2000, -1) },
+		"fail in the past":         func() { s.FailAt(500, 0) },
+		"revive in the past":       func() { s.ReviveAt(500, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -31,6 +31,11 @@ type Stats struct {
 	WastedPct float64
 	// ViolationEpisodes counts distinct idle-while-overloaded intervals.
 	ViolationEpisodes int64
+	// Faults counts applied fault events (failures and revivals);
+	// Rescued counts orphans re-homed by the policy's rescue rule at
+	// failure time; Orphaned counts tasks still stranded on offline
+	// cores at snapshot time.
+	Faults, Rescued, Orphaned int64
 }
 
 // snapshot assembles the Stats for the current clock.
@@ -47,6 +52,9 @@ func (s *Simulator) snapshot() Stats {
 		WastedCoreTicks:   s.violations.WastedCoreSeconds(s.clock),
 		IdleCoreTicks:     s.violations.IdleCoreSeconds(s.clock),
 		ViolationEpisodes: s.violations.Episodes(),
+		Faults:            s.faults.Value(),
+		Rescued:           s.rescued.Value(),
+		Orphaned:          int64(len(s.m.Orphans())),
 	}
 	if s.clock > 0 {
 		st.Throughput = float64(st.Completed) * 1000 / float64(s.clock)

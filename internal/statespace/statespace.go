@@ -32,6 +32,17 @@ type Universe struct {
 	// NUMA node), for verifying hierarchical policies. Length must equal
 	// Cores when set.
 	Groups []int
+	// MaxFaults bounds the fail-stop fault dimension: every machine is
+	// additionally enumerated under every valid fault script of up to
+	// MaxFaults fail/revive events (the empty script included, so the
+	// healthy states are a subset of the fault-extended universe). A
+	// script is valid when each fail targets an online core that is not
+	// the last one online and each revive targets an offline core.
+	// Scripts expand below the enumeration rank — the rank still
+	// identifies the thread-count vector — so the shard partition and
+	// witness ordering guarantees are unchanged. Zero disables the
+	// dimension entirely.
+	MaxFaults int
 }
 
 // Validate checks the universe's structural invariants and returns the
@@ -52,6 +63,9 @@ func (u Universe) Validate() error {
 			return fmt.Errorf("statespace: non-positive task weight %d", w)
 		}
 	}
+	if u.MaxFaults < 0 {
+		return fmt.Errorf("statespace: negative MaxFaults %d", u.MaxFaults)
+	}
 	return nil
 }
 
@@ -60,8 +74,8 @@ func (u Universe) Validate() error {
 // `[]`. Two universes with the same String enumerate the same states in
 // the same order.
 func (u Universe) String() string {
-	return fmt.Sprintf("universe{cores:%d maxPerCore:%d maxTotal:%d weights:%v unscheduled:%v groups:%v}",
-		u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups)
+	return fmt.Sprintf("universe{cores:%d maxPerCore:%d maxTotal:%d weights:%v unscheduled:%v groups:%v maxFaults:%d}",
+		u.Cores, u.MaxPerCore, u.MaxTotal, u.Weights, u.IncludeUnscheduled, u.Groups, u.MaxFaults)
 }
 
 // Canonical is the universe's content identity for memoization: String
@@ -194,15 +208,22 @@ func (u Universe) enumerateWeights(counts []int, schedBits int, weights []int64,
 	if u.Groups != nil && len(u.Groups) != len(counts) {
 		panic(fmt.Sprintf("statespace: %d group assignments for %d cores", len(u.Groups), len(counts)))
 	}
+	build := func(faults []sched.FaultEvent) bool {
+		m := sched.MachineFromSpec(specs...)
+		for id, g := range u.Groups {
+			m.Core(id).Group = g
+			m.Core(id).Node = g
+		}
+		m.Faults = faults
+		return fn(m)
+	}
 	var rec func(core int) bool
 	rec = func(core int) bool {
 		if core == len(counts) {
-			m := sched.MachineFromSpec(specs...)
-			for id, g := range u.Groups {
-				m.Core(id).Group = g
-				m.Core(id).Node = g
+			if u.MaxFaults <= 0 {
+				return build(nil)
 			}
-			return fn(m)
+			return u.enumerateFaultScripts(build)
 		}
 		n := counts[core]
 		if n == 0 {
@@ -224,6 +245,61 @@ func (u Universe) enumerateWeights(counts []int, schedBits int, weights []int64,
 		return ok
 	}
 	return rec(0)
+}
+
+// enumerateFaultScripts yields every valid fail-stop fault script of
+// length 0..MaxFaults over the universe's cores, in deterministic DFS
+// order (the empty script first, then each script before its
+// extensions; extensions try fail(0..n-1) then revive(0..n-1)). A
+// prefix of every emitted script is itself emitted, which is what lets
+// the degraded-mode checkers treat "bounded recovery after the last
+// event" as covering recovery after *any* event. fn receives a fresh
+// slice per call (nil for the empty script).
+func (u Universe) enumerateFaultScripts(fn func([]sched.FaultEvent) bool) bool {
+	offline := make([]bool, u.Cores)
+	online := u.Cores
+	script := make([]sched.FaultEvent, 0, u.MaxFaults)
+	var rec func() bool
+	rec = func() bool {
+		if !fn(append([]sched.FaultEvent(nil), script...)) {
+			return false
+		}
+		if len(script) == u.MaxFaults {
+			return true
+		}
+		for c := 0; c < u.Cores; c++ {
+			if offline[c] || online == 1 {
+				continue
+			}
+			offline[c] = true
+			online--
+			script = append(script, sched.FaultEvent{Core: c})
+			ok := rec()
+			script = script[:len(script)-1]
+			offline[c] = false
+			online++
+			if !ok {
+				return false
+			}
+		}
+		for c := 0; c < u.Cores; c++ {
+			if !offline[c] {
+				continue
+			}
+			offline[c] = false
+			online++
+			script = append(script, sched.FaultEvent{Core: c, Revive: true})
+			ok := rec()
+			script = script[:len(script)-1]
+			offline[c] = true
+			online--
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec()
 }
 
 // enumerateCoreWeights yields every non-decreasing weight vector of length

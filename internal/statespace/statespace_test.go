@@ -1,6 +1,8 @@
 package statespace
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/sched"
@@ -323,6 +325,226 @@ func TestValidateAcceptsAndRejects(t *testing.T) {
 		if err := u.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, u)
 		}
+	}
+}
+
+func TestUniverseFieldsCoveredByValidateAndCanonical(t *testing.T) {
+	// Validate, String/Canonical and this table must move together: every
+	// Universe field needs a mutation that changes Canonical() (content
+	// identity — a field Canonical misses silently aliases distinct state
+	// spaces in the memo cache) and, where the field has invalid values,
+	// one that Validate rejects. Reflection makes a new field fail this
+	// test until the table — and therefore both methods — is extended.
+	base := Universe{Cores: 2, MaxPerCore: 2}
+	fields := map[string]struct {
+		mutate  func(*Universe) // must change Canonical()
+		invalid func(*Universe) // must fail Validate; nil = every value valid
+	}{
+		"Cores": {
+			mutate:  func(u *Universe) { u.Cores = 3 },
+			invalid: func(u *Universe) { u.Cores = 0 },
+		},
+		"MaxPerCore": {
+			mutate:  func(u *Universe) { u.MaxPerCore = 3 },
+			invalid: func(u *Universe) { u.MaxPerCore = -1 },
+		},
+		"MaxTotal": {
+			// 3, not Cores*MaxPerCore: the zero shorthand canonicalizes
+			// to exactly that product, by design.
+			mutate:  func(u *Universe) { u.MaxTotal = 3 },
+			invalid: func(u *Universe) { u.MaxTotal = -1 },
+		},
+		"Weights": {
+			mutate:  func(u *Universe) { u.Weights = []int64{1, 3} },
+			invalid: func(u *Universe) { u.Weights = []int64{0} },
+		},
+		"IncludeUnscheduled": {
+			mutate: func(u *Universe) { u.IncludeUnscheduled = true },
+		},
+		"Groups": {
+			mutate:  func(u *Universe) { u.Groups = []int{0, 1} },
+			invalid: func(u *Universe) { u.Groups = []int{0} },
+		},
+		"MaxFaults": {
+			mutate:  func(u *Universe) { u.MaxFaults = 1 },
+			invalid: func(u *Universe) { u.MaxFaults = -1 },
+		},
+	}
+	typ := reflect.TypeOf(Universe{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		spec, ok := fields[name]
+		if !ok {
+			t.Errorf("Universe.%s is not covered: extend Validate, String/Canonical and this table", name)
+			continue
+		}
+		if err := base.Validate(); err != nil {
+			t.Fatalf("base universe invalid: %v", err)
+		}
+		mutated := base
+		spec.mutate(&mutated)
+		if mutated.Canonical() == base.Canonical() {
+			t.Errorf("Universe.%s: mutation did not change Canonical() (%q)", name, base.Canonical())
+		}
+		if spec.invalid != nil {
+			bad := base
+			spec.invalid(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Errorf("Universe.%s: Validate accepted invalid value %+v", name, bad)
+			}
+		}
+	}
+	for name := range fields {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("table covers %s, which is no longer a Universe field", name)
+		}
+	}
+}
+
+// faultKey distinguishes fault-script variants of the same machine:
+// enumeration attaches scripts to online machines, so Key() alone would
+// collide across scripts.
+func faultKey(m *sched.Machine) string {
+	return m.Key() + "|" + fmt.Sprint(m.Faults)
+}
+
+// faultShardUniverses are the fault-dimension partition fixtures.
+func faultShardUniverses() map[string]Universe {
+	return map[string]Universe{
+		"faults1":         {Cores: 3, MaxPerCore: 2, MaxTotal: 3, MaxFaults: 1},
+		"faults2":         {Cores: 2, MaxPerCore: 2, MaxFaults: 2, IncludeUnscheduled: true},
+		"faults-weighted": {Cores: 2, MaxPerCore: 2, Weights: []int64{1, 3}, MaxFaults: 1},
+		"faults-deep":     {Cores: 2, MaxPerCore: 1, MaxFaults: 3},
+	}
+}
+
+func TestEnumerateShardPartitionWithFaults(t *testing.T) {
+	// The PR 2 partition property extended to the fault dimension: for
+	// every shard count, the union of the shards' (machine, script) pairs
+	// is exactly Enumerate's multiset. Scripts expand below the rank
+	// level, so a shard owns every script of each thread-count vector it
+	// owns — nothing is split mid-vector.
+	for name, u := range faultShardUniverses() {
+		full := make(map[string]int)
+		states := 0
+		u.Enumerate(func(m *sched.Machine) bool {
+			full[faultKey(m)]++
+			states++
+			return true
+		})
+		if states == 0 {
+			t.Fatalf("%s: empty universe", name)
+		}
+		for total := 1; total <= 8; total++ {
+			union := make(map[string]int)
+			n := 0
+			for shard := 0; shard < total; shard++ {
+				complete := u.EnumerateShard(shard, total, func(m *sched.Machine) bool {
+					union[faultKey(m)]++
+					n++
+					return true
+				})
+				if !complete {
+					t.Errorf("%s total=%d shard=%d: reported early stop", name, total, shard)
+				}
+			}
+			if n != states {
+				t.Errorf("%s total=%d: shards yielded %d states, Enumerate %d", name, total, n, states)
+			}
+			for k, c := range union {
+				if full[k] != c {
+					t.Errorf("%s total=%d: key %q appears %d times in shards, %d in Enumerate", name, total, k, c, full[k])
+				}
+			}
+			for k := range full {
+				if union[k] == 0 {
+					t.Errorf("%s total=%d: key %q missing from every shard", name, total, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultScriptsValidAndPrefixClosed(t *testing.T) {
+	// Every enumerated script must be valid under fail-stop rules (fail
+	// only online non-last cores, revive only offline cores) and the set
+	// must be prefix-closed — the property the degraded-mode checkers
+	// lean on to treat "recovered after the last event" as covering
+	// recovery after any event. The empty script (healthy machine) must
+	// appear for every machine, so healthy states are a subset.
+	u := Universe{Cores: 3, MaxPerCore: 1, MaxTotal: 2, MaxFaults: 2}
+	scripts := make(map[string]bool)
+	healthy, total := 0, 0
+	u.Enumerate(func(m *sched.Machine) bool {
+		total++
+		if len(m.Faults) == 0 {
+			healthy++
+		}
+		if len(m.Faults) > u.MaxFaults {
+			t.Fatalf("script %v longer than MaxFaults=%d", m.Faults, u.MaxFaults)
+		}
+		offline := make([]bool, u.Cores)
+		online := u.Cores
+		for _, ev := range m.Faults {
+			if ev.Core < 0 || ev.Core >= u.Cores {
+				t.Fatalf("script %v: core %d out of range", m.Faults, ev.Core)
+			}
+			if ev.Revive {
+				if !offline[ev.Core] {
+					t.Fatalf("script %v revives online core %d", m.Faults, ev.Core)
+				}
+				offline[ev.Core] = false
+				online++
+			} else {
+				if offline[ev.Core] {
+					t.Fatalf("script %v fails offline core %d", m.Faults, ev.Core)
+				}
+				if online == 1 {
+					t.Fatalf("script %v fails the last online core %d", m.Faults, ev.Core)
+				}
+				offline[ev.Core] = true
+				online--
+			}
+		}
+		scripts[fmt.Sprint(m.Faults)] = true
+		return true
+	})
+	if healthy == 0 {
+		t.Fatal("no healthy (empty-script) states enumerated")
+	}
+	if len(scripts) < 2 {
+		t.Fatalf("only %d distinct scripts — fault dimension not exercised", len(scripts))
+	}
+	// Prefix closure: every proper prefix of an enumerated script must
+	// itself be an enumerated script.
+	u.Enumerate(func(m *sched.Machine) bool {
+		for i := range m.Faults {
+			prefix := fmt.Sprint(m.Faults[:i])
+			if !scripts[prefix] {
+				t.Fatalf("script %v: prefix %s not enumerated", m.Faults, prefix)
+			}
+		}
+		return true
+	})
+}
+
+func TestMaxFaultsZeroMatchesHealthyUniverse(t *testing.T) {
+	// MaxFaults: 0 must be exactly the healthy universe — same states,
+	// same order, nil scripts — so legacy obligations see no change.
+	healthy := Universe{Cores: 3, MaxPerCore: 2, MaxTotal: 3, IncludeUnscheduled: true}
+	faulty := healthy
+	faulty.MaxFaults = 0
+	var a, b []string
+	healthy.Enumerate(func(m *sched.Machine) bool { a = append(a, m.Key()); return true })
+	faulty.Enumerate(func(m *sched.Machine) bool {
+		if m.Faults != nil {
+			t.Fatalf("MaxFaults=0 attached script %v", m.Faults)
+		}
+		b = append(b, m.Key())
+		return true
+	})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("MaxFaults=0 changed enumeration: %d vs %d states", len(a), len(b))
 	}
 }
 

@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HotplugEvent is one core transition: Core went offline (fail-stop) or
+// came back online (hotplug add).
+type HotplugEvent struct {
+	Core   int
+	Online bool
+}
+
+// String renders the event as e.g. "core 2 offline".
+func (e HotplugEvent) String() string {
+	state := "offline"
+	if e.Online {
+		state = "online"
+	}
+	return fmt.Sprintf("core %d %s", e.Core, state)
+}
+
+// OnlineState tracks which cores of a topology are currently online and
+// notifies subscribers of hotplug transitions. The Topology itself stays
+// immutable (it describes the hardware); OnlineState is the dynamic
+// availability layer the fail-stop fault model operates on.
+//
+// The guarantees mirror the verifier's fault-script validity rules:
+// failing an offline core or reviving an online one is rejected, and the
+// last online core can never be failed — a machine with zero online
+// cores has no scheduler left to reason about.
+//
+// OnlineState is safe for concurrent use; subscribers are invoked
+// synchronously under the state lock, in subscription order, so they
+// observe transitions in a single global order.
+type OnlineState struct {
+	mu      sync.Mutex
+	offline []bool
+	online  int
+	subs    []func(HotplugEvent)
+	history []HotplugEvent
+}
+
+// NewOnlineState returns the all-online state for an n-core machine.
+func NewOnlineState(n int) *OnlineState {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: NewOnlineState(%d)", n))
+	}
+	return &OnlineState{offline: make([]bool, n), online: n}
+}
+
+// NumCores returns the tracked machine width.
+func (s *OnlineState) NumCores() int { return len(s.offline) }
+
+// Online reports whether core id is online.
+func (s *OnlineState) Online(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.offline[id]
+}
+
+// OnlineCores returns the IDs of the online cores, ascending.
+func (s *OnlineState) OnlineCores() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, s.online)
+	for id, off := range s.offline {
+		if !off {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// NumOnline returns the number of online cores.
+func (s *OnlineState) NumOnline() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.online
+}
+
+// Fail takes core id offline (fail-stop). It rejects out-of-range and
+// already-offline cores, and refuses to fail the last online core.
+func (s *OnlineState) Fail(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.offline) {
+		return fmt.Errorf("topology: Fail(%d) on a %d-core machine", id, len(s.offline))
+	}
+	if s.offline[id] {
+		return fmt.Errorf("topology: core %d is already offline", id)
+	}
+	if s.online == 1 {
+		return fmt.Errorf("topology: cannot fail core %d, it is the last online core", id)
+	}
+	s.offline[id] = true
+	s.online--
+	s.notifyLocked(HotplugEvent{Core: id, Online: false})
+	return nil
+}
+
+// Revive brings core id back online (hotplug add). It rejects
+// out-of-range and already-online cores.
+func (s *OnlineState) Revive(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.offline) {
+		return fmt.Errorf("topology: Revive(%d) on a %d-core machine", id, len(s.offline))
+	}
+	if !s.offline[id] {
+		return fmt.Errorf("topology: core %d is already online", id)
+	}
+	s.offline[id] = false
+	s.online++
+	s.notifyLocked(HotplugEvent{Core: id, Online: true})
+	return nil
+}
+
+// Subscribe registers fn to be called on every subsequent transition.
+// Callbacks run synchronously under the state lock and must not call
+// back into the OnlineState.
+func (s *OnlineState) Subscribe(fn func(HotplugEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+// History returns the transitions applied so far, in order.
+func (s *OnlineState) History() []HotplugEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]HotplugEvent(nil), s.history...)
+}
+
+func (s *OnlineState) notifyLocked(e HotplugEvent) {
+	s.history = append(s.history, e)
+	for _, fn := range s.subs {
+		fn(e)
+	}
+}

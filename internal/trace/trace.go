@@ -26,6 +26,8 @@ const (
 	KindStealFail Kind = "steal-fail" // failed optimistic steal
 	KindRound     Kind = "round"      // balancing round boundary
 	KindViolation Kind = "violation"  // idle-while-overloaded observed
+	KindFail      Kind = "fail"       // core fail-stopped (aux: tasks rescued)
+	KindRevive    Kind = "revive"     // core rejoined via hotplug
 )
 
 // Event is one trace record. Fields are int64/strings only so the JSON

@@ -14,6 +14,7 @@ const (
 	CompFilter PolicyComponent = "filter"
 	CompChoose PolicyComponent = "choose"
 	CompSteal  PolicyComponent = "steal"
+	CompRescue PolicyComponent = "rescue"
 )
 
 // obligationDeps records which policy components each checker reads.
@@ -32,6 +33,10 @@ const (
 //   - the round-based obligations (failure-implies-success, both
 //     work-conservation forms, reactivity) execute full rounds:
 //     Select (filter + choose) then Steal (filter + steal count).
+//   - the fault obligations (no-task-lost, degraded-wasted-cores) run
+//     full rounds between fault events and additionally invoke the
+//     policy's rescue rule on every core failure, so they depend on
+//     every component but the bare load metric.
 //
 // Load does not appear in most rows because DSL component hashing is
 // closed over load references: a filter that mentions `x.load` embeds
@@ -40,14 +45,16 @@ const (
 // those. potential-decrease names CompLoad explicitly because its
 // checker calls p.Load directly, whatever the filter references.
 var obligationDeps = map[ObligationID][]PolicyComponent{
-	ObLemma1:             {CompFilter},
-	ObStealSoundness:     {CompFilter, CompSteal},
-	ObPotentialDecrease:  {CompLoad, CompFilter, CompSteal},
-	ObFailureImpliesSucc: {CompFilter, CompChoose, CompSteal},
-	ObWorkConservSeq:     {CompFilter, CompChoose, CompSteal},
-	ObWorkConservConc:    {CompFilter, CompChoose, CompSteal},
-	ObChoiceIndependence: {CompFilter, CompSteal},
-	ObReactivity:         {CompFilter, CompChoose, CompSteal},
+	ObLemma1:              {CompFilter},
+	ObStealSoundness:      {CompFilter, CompSteal},
+	ObPotentialDecrease:   {CompLoad, CompFilter, CompSteal},
+	ObFailureImpliesSucc:  {CompFilter, CompChoose, CompSteal},
+	ObWorkConservSeq:      {CompFilter, CompChoose, CompSteal},
+	ObWorkConservConc:     {CompFilter, CompChoose, CompSteal},
+	ObChoiceIndependence:  {CompFilter, CompSteal},
+	ObReactivity:          {CompFilter, CompChoose, CompSteal},
+	ObNoTaskLost:          {CompFilter, CompChoose, CompSteal, CompRescue},
+	ObDegradedWastedCores: {CompFilter, CompChoose, CompSteal, CompRescue},
 }
 
 // ObligationDeps returns the policy components obligation id's checker
@@ -65,5 +72,5 @@ func ObligationDeps(id ObligationID) []PolicyComponent {
 
 // AllComponents lists every policy component in canonical order.
 func AllComponents() []PolicyComponent {
-	return []PolicyComponent{CompLoad, CompFilter, CompChoose, CompSteal}
+	return []PolicyComponent{CompLoad, CompFilter, CompChoose, CompSteal, CompRescue}
 }

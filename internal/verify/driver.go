@@ -85,8 +85,19 @@ func shardCheck(ctx context.Context, id ObligationID, f Factory, u statespace.Un
 	return rawShardCheck(ctx, id, f, u, maxRounds, sh)
 }
 
-// rawShardCheck is the uncontained dispatch.
+// rawShardCheck is the uncontained dispatch. The fault obligations are
+// the only consumers of the universe's fault dimension; for the
+// steady-state obligations MaxFaults is zeroed, so their verdicts,
+// counters and witnesses on a fault-extended universe stay byte-identical
+// to the healthy universe's.
 func rawShardCheck(ctx context.Context, id ObligationID, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
+	switch id {
+	case ObNoTaskLost:
+		return checkNoTaskLostShard(ctx, f, u, maxRounds, sh)
+	case ObDegradedWastedCores:
+		return checkDegradedWastedCoresShard(ctx, f, u, maxRounds, sh)
+	}
+	u.MaxFaults = 0
 	switch id {
 	case ObLemma1:
 		return checkLemma1Shard(ctx, f, u, sh)

@@ -1,0 +1,169 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/statespace"
+)
+
+// This file checks the fail-stop fault model: the two obligations that
+// make graceful degradation a verified property rather than a hope.
+// They quantify over the universe's fault dimension — every machine is
+// enumerated under every valid fault script of up to MaxFaults events
+// (statespace.Universe.MaxFaults) — and replay each script
+// deterministically: event i is applied at round boundary i (a fail
+// invokes the policy's rescue rule on the orphans it creates, a revive
+// brings the core's stranded tasks back), with one sequential round
+// between boundaries so the surviving cores keep balancing while the
+// faults land. Because every prefix of an enumerated script is itself an
+// enumerated script, "recovered after the last event" over all scripts
+// covers recovery after *any* event.
+
+// CheckNoTaskLost checks that no task is ever lost to a core failure:
+// every task orphaned by a fail-stop event is back on an online core —
+// re-homed by the policy's rescue rule or recovered by the core's
+// scripted revival — within maxRounds rounds of the failure. A policy
+// with no rescue rule fails this on any script that fails a non-empty
+// core and never revives it.
+func CheckNoTaskLost(ctx context.Context, f Factory, u statespace.Universe, maxRounds int) Result {
+	return runObligation(ctx, ObNoTaskLost, f, u, maxRounds)
+}
+
+func checkNoTaskLostShard(ctx context.Context, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	res := Result{ID: ObNoTaskLost, Passed: true}
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
+		res.StatesChecked++
+		if len(m.Faults) == 0 {
+			return true // no faults, no orphans: vacuously safe
+		}
+		start := m.Loads()
+		// orphanedAt[id] is the round at which task id became an orphan;
+		// orphanCore[id] the offline core holding it. In the model a task
+		// leaves an offline core only through rescue (at fail time) or
+		// revival, so the maps are maintained exactly at fault events.
+		orphanedAt := map[sched.TaskID]int{}
+		orphanCore := map[sched.TaskID]int{}
+		for i, ev := range m.Faults {
+			if ev.Revive {
+				m.ReviveCore(ev.Core)
+				for id, core := range orphanCore {
+					if core != ev.Core {
+						continue
+					}
+					if delay := i - orphanedAt[id]; delay > maxRounds {
+						res.refute(rank, fmt.Sprintf(
+							"state %v script %v: task %d orphaned on core %d at round %d not re-homed until round %d (bound %d)",
+							start, m.Faults, id, core, orphanedAt[id], i, maxRounds))
+						return false
+					} else if delay > res.Bound {
+						res.Bound = delay
+					}
+					delete(orphanedAt, id)
+					delete(orphanCore, id)
+				}
+			} else {
+				m.FailCore(ev.Core)
+				sched.Rescue(f(), m, ev.Core)
+				for _, t := range m.Core(ev.Core).Ready {
+					orphanedAt[t.ID] = i
+					orphanCore[t.ID] = ev.Core
+				}
+			}
+			sched.SequentialRound(f(), m)
+		}
+		// The script is over: nothing can re-home a still-stranded task,
+		// so any survivor is lost for good, not merely late. Walk the
+		// machine (not the map) for a deterministic first witness.
+		for _, t := range m.Orphans() {
+			if core, ok := orphanCore[t.ID]; ok {
+				res.refute(rank, fmt.Sprintf(
+					"state %v script %v: task %d stranded on failed core %d at round %d is never re-homed (no rescue, no revival)",
+					start, m.Faults, t.ID, core, orphanedAt[t.ID]))
+				return false
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// CheckDegradedWastedCores checks the wasted-cores invariant of §3.2
+// restated over a degraded machine's online cores: after the fault
+// script's last event, iterating sequential rounds restores
+// Machine.DegradedWorkConserved — no online core idle while an online
+// core is overloaded or orphan work sits stranded offline — within
+// maxRounds rounds. Counting stranded orphans as waiting work is what
+// refutes rescue-less policies here: the survivors may balance perfectly
+// among themselves while an idle core ignores work it could adopt.
+func CheckDegradedWastedCores(ctx context.Context, f Factory, u statespace.Universe, maxRounds int) Result {
+	return runObligation(ctx, ObDegradedWastedCores, f, u, maxRounds)
+}
+
+func checkDegradedWastedCoresShard(ctx context.Context, f Factory, u statespace.Universe, maxRounds int, sh shard) Result {
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	res := Result{ID: ObDegradedWastedCores, Passed: true}
+	sh.enumerate(u, func(rank int, m *sched.Machine) bool {
+		if res.StatesChecked&63 == 0 && aborted(ctx, &res) {
+			return false
+		}
+		res.StatesChecked++
+		if len(m.Faults) == 0 {
+			// The healthy invariant is work-conservation-sequential's
+			// job; this obligation owns the degraded states only.
+			return true
+		}
+		start := m.Loads()
+		for _, ev := range m.Faults {
+			if ev.Revive {
+				m.ReviveCore(ev.Core)
+			} else {
+				m.FailCore(ev.Core)
+				sched.Rescue(f(), m, ev.Core)
+			}
+			sched.SequentialRound(f(), m)
+		}
+		// Recovery phase: from the post-script state, sequential rounds
+		// must reach the degraded invariant. Mirrors the wc-seq loop —
+		// deterministic rounds, so a repeated state is a livelock and a
+		// moveless non-conserved round is stuck.
+		seen := make(statespace.Visited)
+		seen.Add(m)
+		for round := 0; ; round++ {
+			if m.DegradedWorkConserved() {
+				if round > res.Bound {
+					res.Bound = round
+				}
+				return true
+			}
+			if round >= maxRounds {
+				res.refute(rank, fmt.Sprintf(
+					"state %v script %v: degraded invariant not restored after %d rounds", start, m.Faults, maxRounds))
+				return false
+			}
+			rr := sched.SequentialRound(f(), m)
+			if rr.TasksMoved() == 0 {
+				res.refute(rank, fmt.Sprintf(
+					"state %v script %v: stuck at %v with an idle online core and unclaimed work (no steal possible)",
+					start, m.Faults, m.Loads()))
+				return false
+			}
+			if !seen.Add(m) {
+				res.refute(rank, fmt.Sprintf(
+					"state %v script %v: rounds cycle through %v without restoring the degraded invariant",
+					start, m.Faults, m.Loads()))
+				return false
+			}
+		}
+	})
+	return res
+}

@@ -44,6 +44,22 @@ const (
 	ObReactivity         ObligationID = "reactivity"
 )
 
+// Fault-model obligations: graceful degradation under fail-stop core
+// faults and hotplug (see internal/verify/faults.go). They quantify over
+// the universe's fault dimension (statespace.Universe.MaxFaults) and are
+// vacuously true when it is zero.
+const (
+	// ObNoTaskLost: every task orphaned by a core failure is re-homed
+	// onto an online core (by the policy's rescue rule or by the core's
+	// revival) within MaxRounds rounds of the failure.
+	ObNoTaskLost ObligationID = "no-task-lost"
+	// ObDegradedWastedCores: the wasted-cores invariant restricted to
+	// online cores — after any fail/revive event, no online core stays
+	// idle while another online core is overloaded or orphan work sits
+	// stranded offline, within MaxRounds rounds.
+	ObDegradedWastedCores ObligationID = "degraded-wasted-cores"
+)
+
 // Result is the outcome of checking one obligation. The json tags define
 // the deterministic wire encoding (see ReportJSON): field order follows
 // the struct declaration, and fields that are zero on passing sequential

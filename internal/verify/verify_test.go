@@ -423,6 +423,97 @@ func TestShardedDeterminismAcrossParallelism(t *testing.T) {
 	}
 }
 
+func rescueFactory() sched.Policy {
+	p, err := policy.New("delta2-rescue")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// faultUniverse extends the small fixture with the fault dimension.
+func faultUniverse() statespace.Universe {
+	u := smallUniverse()
+	u.MaxFaults = 1
+	return u
+}
+
+func TestNoTaskLostRefutesRescueless(t *testing.T) {
+	r := CheckNoTaskLost(context.Background(), delta2Factory, faultUniverse(), 0)
+	if r.Passed {
+		t.Fatal("delta2 (no rescue rule) passed no-task-lost under faults")
+	}
+	if !strings.Contains(r.Witness, "never re-homed") {
+		t.Errorf("witness %q does not explain the stranded task", r.Witness)
+	}
+}
+
+func TestNoTaskLostProvesRescue(t *testing.T) {
+	r := CheckNoTaskLost(context.Background(), rescueFactory, faultUniverse(), 0)
+	if !r.Passed {
+		t.Fatalf("delta2-rescue failed no-task-lost: %s", r.Witness)
+	}
+}
+
+func TestDegradedWastedCoresRefutesRescueless(t *testing.T) {
+	r := CheckDegradedWastedCores(context.Background(), delta2Factory, faultUniverse(), 0)
+	if r.Passed {
+		t.Fatal("delta2 (no rescue rule) passed degraded-wasted-cores under faults")
+	}
+}
+
+func TestDegradedWastedCoresProvesRescue(t *testing.T) {
+	r := CheckDegradedWastedCores(context.Background(), rescueFactory, faultUniverse(), 0)
+	if !r.Passed {
+		t.Fatalf("delta2-rescue failed degraded-wasted-cores: %s", r.Witness)
+	}
+}
+
+func TestShardedDeterminismAcrossParallelismWithFaults(t *testing.T) {
+	// The PR 2 determinism contract extended to the fault dimension:
+	// sequential and every parallel level must produce byte-identical
+	// reports over a fault-extended universe, for the proved
+	// (delta2-rescue) and refuted (delta2, stranded orphans) sides alike.
+	for _, tc := range []struct {
+		name string
+		f    Factory
+	}{
+		{"delta2", delta2Factory},
+		{"delta2-rescue", rescueFactory},
+	} {
+		base, err := PolicyContext(context.Background(), tc.name, tc.f,
+			Config{Universe: faultUniverse(), Sequential: true})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		for _, par := range []int{1, 2, 4, 8} {
+			rep, err := PolicyContext(context.Background(), tc.name, tc.f,
+				Config{Universe: faultUniverse(), Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", tc.name, par, err)
+			}
+			if !reflect.DeepEqual(rep.Results, base.Results) {
+				t.Errorf("%s parallel=%d: results diverged from sequential:\n%s\nvs\n%s",
+					tc.name, par, rep, base)
+			}
+		}
+	}
+}
+
+func TestFaultObligationsVacuousOnHealthyUniverse(t *testing.T) {
+	// With MaxFaults 0 every state is healthy, so both fault obligations
+	// are vacuously proved even for rescue-less policies — the fault
+	// dimension is opt-in and cannot refute a legacy run.
+	for _, check := range []func(context.Context, Factory, statespace.Universe, int) Result{
+		CheckNoTaskLost, CheckDegradedWastedCores,
+	} {
+		r := check(context.Background(), delta2Factory, smallUniverse(), 0)
+		if !r.Passed {
+			t.Errorf("%s refuted on a healthy universe: %s", r.ID, r.Witness)
+		}
+	}
+}
+
 func TestShardedWitnessMatchesWholeUniverseScan(t *testing.T) {
 	// The merged witness must be the one a single sequential scan of the
 	// whole universe finds first (lowest enumeration rank), not whichever

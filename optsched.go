@@ -57,6 +57,10 @@ type (
 	RoundResult = sched.RoundResult
 	// Attempt is one core's participation in a round.
 	Attempt = sched.Attempt
+	// Rescuer is the optional Policy extension that re-homes tasks
+	// orphaned by fail-stop core faults (see FaultEvent, WithFaults and
+	// the DSL's rescue clause).
+	Rescuer = sched.Rescuer
 )
 
 // Verification types (see internal/verify).

@@ -40,6 +40,14 @@ type Result struct {
 	// the horizon).
 	Converged bool
 
+	// Faults counts the fault-schedule events the backend applied
+	// (failures and revivals together); FaultRescued counts orphaned
+	// tasks the policy's rescue rule re-homed at failure time; Orphaned
+	// counts tasks still stranded on offline cores when the run ended —
+	// nonzero only for rescue-less policies under an unrecovered
+	// failure, the runtime shadow of a no-task-lost refutation.
+	Faults, FaultRescued, Orphaned int64
+
 	// VirtualTicks is the virtual time consumed (model: zero — it has no
 	// clock; executor: zero — it runs in real time).
 	VirtualTicks int64
@@ -67,6 +75,9 @@ func (r *Result) String() string {
 	}
 	if r.VirtualTicks > 0 {
 		fmt.Fprintf(&b, " vticks=%d", r.VirtualTicks)
+	}
+	if r.Faults > 0 {
+		fmt.Fprintf(&b, " faults=%d rescued=%d orphaned=%d", r.Faults, r.FaultRescued, r.Orphaned)
 	}
 	if r.FinalLoads != nil {
 		fmt.Fprintf(&b, " loads=%v", r.FinalLoads)

@@ -3,6 +3,7 @@ package optsched
 import (
 	"fmt"
 
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -70,6 +71,31 @@ func (b Batch) weight() int64 {
 	return DefaultWeight
 }
 
+// FaultEvent is one scripted fail-stop core fault or hotplug recovery,
+// the portable unit of a fault schedule. Like Batch, only the
+// interpretation of time changes across backends:
+//
+//   - BackendModel applies the event before balancing-round index At
+//     (fail: the core goes offline, its queue is re-homed through the
+//     policy's rescue rule or stranded without one; revive: the core
+//     rejoins and may be stolen from/to again).
+//   - BackendSim applies it at virtual tick At, preempting whatever the
+//     core was running (the interrupted task keeps its remaining work).
+//   - BackendExecutor applies it after At microseconds of wall time:
+//     the worker goroutine stops executing and its queue is re-homed
+//     (or stranded) exactly like the model.
+type FaultEvent struct {
+	// At is when the event fires: balancing-round index on the model,
+	// virtual ticks on the simulator, elapsed microseconds of wall time
+	// on the executor.
+	At int64
+	// Core is the core that fails or revives. Backends with fewer cores
+	// treat it modulo the machine width, like Batch.Core.
+	Core int
+	// Revive marks a hotplug recovery instead of a failure.
+	Revive bool
+}
+
 // Scenario is a backend-portable workload description: where tasks are
 // born, how many, and how much work each carries. The same Scenario runs
 // unchanged on the model, the simulator and the real executor via
@@ -97,6 +123,10 @@ type Scenario struct {
 	// of Batches. Scenarios with a Workload run only on BackendSim;
 	// Cluster.Run rejects them on the other backends.
 	Workload Workload
+	// Faults is the scenario's fault schedule, applied in order on every
+	// backend. Empty means the cluster default (WithFaults), which in
+	// turn defaults to a healthy machine.
+	Faults []FaultEvent
 }
 
 // TotalTasks sums the scenario's batch sizes. Workload-driven scenarios
@@ -131,6 +161,45 @@ func (sc Scenario) validate(cores int) error {
 	if sc.Groups != nil && len(sc.Groups) != cores {
 		return fmt.Errorf("optsched: scenario %q has %d group entries for %d cores",
 			sc.Name, len(sc.Groups), cores)
+	}
+	if err := validateFaults(sc.Faults, cores); err != nil {
+		return fmt.Errorf("optsched: scenario %q: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// validateFaults replays a fault schedule against a fresh online-state
+// tracker, rejecting schedules no backend could apply: out-of-order
+// events, failing an already-offline core, reviving an online one, or
+// taking the last online core down. Core indices wrap modulo the
+// machine width first, exactly as the backends apply them.
+func validateFaults(events []FaultEvent, cores int) error {
+	if len(events) == 0 {
+		return nil
+	}
+	state := topology.NewOnlineState(cores)
+	var prev int64
+	for i, ev := range events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault event %d has negative At %d", i, ev.At)
+		}
+		if ev.At < prev {
+			return fmt.Errorf("fault event %d at %d is out of order (previous event at %d)", i, ev.At, prev)
+		}
+		prev = ev.At
+		if ev.Core < 0 {
+			return fmt.Errorf("fault event %d on negative core %d", i, ev.Core)
+		}
+		core := ev.Core % cores
+		var err error
+		if ev.Revive {
+			err = state.Revive(core)
+		} else {
+			err = state.Fail(core)
+		}
+		if err != nil {
+			return fmt.Errorf("fault event %d: %w", i, err)
+		}
 	}
 	return nil
 }
