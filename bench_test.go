@@ -199,6 +199,17 @@ func BenchmarkE9Convergence(b *testing.B) {
 	}
 }
 
+func BenchmarkE10ServiceTail(b *testing.B) {
+	// The open-loop 90%-load tail comparison: four policies through the
+	// event loop, each with a half-horizon drain.
+	for i := 0; i < b.N; i++ {
+		r := experiment.E10ServiceTail(context.Background())
+		if r.Table == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
 // --- Protocol micro-benches ---
 
 func BenchmarkSelect(b *testing.B) {

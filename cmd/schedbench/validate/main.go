@@ -1,0 +1,44 @@
+// Command validate checks a service sweep report: it must decode
+// through the validating reader (schema version, workload kind,
+// registered policies, point grid matching the load grid) and carry
+// non-degenerate data. CI fails the bench-service job on any drift.
+//
+// Usage: validate REPORT.json...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate REPORT.json...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := loadgen.ReportFromJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Policies {
+			for _, pt := range c.Points {
+				if pt.JobsArrived == 0 || pt.Latency.Count == 0 {
+					fmt.Fprintf(os.Stderr, "validate: %s: policy %s at load %v has no data\n",
+						path, c.Policy, pt.Load)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("%s: ok (%d policies x %d loads, seed %d)\n",
+			path, len(rep.Policies), len(rep.Loads), rep.Seed)
+	}
+}

@@ -442,7 +442,7 @@ func All(ctx context.Context) []Result {
 	runners := []func(context.Context) Result{
 		E1Lemma1, E2SequentialConvergence, E3Counterexample, E4Potential,
 		E5RoundCost, E6WastedCores, E7Hierarchical, E8Concurrent,
-		E9ConvergenceRate,
+		E9ConvergenceRate, E10ServiceTail,
 	}
 	var results []Result
 	for _, run := range runners {

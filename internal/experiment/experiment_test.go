@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -155,16 +156,37 @@ func TestE9ConvergenceShape(t *testing.T) {
 	}
 }
 
+func TestE10ServiceTailShape(t *testing.T) {
+	r := E10ServiceTail(context.Background())
+	out := r.Table.String()
+	for _, p := range []string{"delta2", "weighted", "cfs-group-buggy", "null"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("missing %s row:\n%s", p, out)
+		}
+	}
+	// The tail-inflation note requires null's p99 to exceed delta2's —
+	// the experiment's whole point.
+	foundInflation := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "inflates p99") {
+			foundInflation = true
+		}
+	}
+	if !foundInflation {
+		t.Errorf("notes lack the p99 inflation finding: %v", r.Notes)
+	}
+}
+
 func TestAllRunsEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite in short mode")
 	}
 	rs := All(context.Background())
-	if len(rs) != 9 {
-		t.Fatalf("All(context.Background()) = %d experiments, want 9", len(rs))
+	if len(rs) != 10 {
+		t.Fatalf("All(context.Background()) = %d experiments, want 10", len(rs))
 	}
 	for i, r := range rs {
-		want := "E" + string(rune('1'+i))
+		want := fmt.Sprintf("E%d", i+1)
 		if r.ID != want {
 			t.Errorf("experiment %d ID = %s, want %s", i, r.ID, want)
 		}

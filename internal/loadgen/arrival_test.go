@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// gaps draws n interarrival gaps from a fresh process built by mk,
+// against a fresh RNG with the given seed.
+func gaps(mk func() ArrivalProcess, seed uint64, n int) []int64 {
+	rng := sim.NewRNG(seed)
+	p := mk()
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = p.Next(rng)
+	}
+	return out
+}
+
+// Property (satellite): for a fixed seed the generated arrival sequence
+// is byte-identical across runs — the foundation of reproducible sweeps.
+func TestArrivalsByteIdenticalForFixedSeed(t *testing.T) {
+	makers := map[string]func() ArrivalProcess{
+		"poisson": func() ArrivalProcess { return NewPoisson(700) },
+		"map":     func() ArrivalProcess { return NewBurstyMAP(700, 8, 50_000) },
+	}
+	for name, mk := range makers {
+		a := fmt.Sprint(gaps(mk, 42, 10_000))
+		b := fmt.Sprint(gaps(mk, 42, 10_000))
+		if a != b {
+			t.Errorf("%s: same seed produced different gap sequences", name)
+		}
+		c := fmt.Sprint(gaps(mk, 43, 10_000))
+		if a == c {
+			t.Errorf("%s: different seeds produced identical gap sequences", name)
+		}
+	}
+}
+
+func mean(vs []int64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += float64(v)
+	}
+	return sum / float64(len(vs))
+}
+
+// Property (satellite): the empirical mean interarrival gap matches the
+// analytic rate within tolerance.
+func TestPoissonMeanMatchesAnalytic(t *testing.T) {
+	for _, want := range []float64{50, 700, 12_345} {
+		got := mean(gaps(func() ArrivalProcess { return NewPoisson(want) }, 9, 200_000))
+		if rel := (got - want) / want; rel < -0.02 || rel > 0.02 {
+			t.Errorf("poisson(mean=%v): empirical mean %v (rel %.3f)", want, got, rel)
+		}
+	}
+}
+
+func TestBurstyMAPMeanMatchesAnalytic(t *testing.T) {
+	for _, want := range []float64{200, 1500} {
+		p := func() ArrivalProcess { return NewBurstyMAP(want, 8, 50_000) }
+		got := mean(gaps(p, 9, 500_000))
+		if rel := (got - want) / want; rel < -0.05 || rel > 0.05 {
+			t.Errorf("map(mean=%v): empirical mean %v (rel %.3f)", want, got, rel)
+		}
+	}
+}
+
+// The MAP must actually modulate: windowed arrival counts must be far
+// over-dispersed relative to Poisson (index of dispersion ≈ 1 for
+// Poisson, ≫ 1 for a two-state MMPP with an 8× rate ratio).
+func TestBurstyMAPOverdispersed(t *testing.T) {
+	const meanGap, window = 1000.0, 25_000
+	dispersion := func(vs []int64) float64 {
+		counts := map[int64]float64{}
+		var t int64
+		for _, g := range vs {
+			t += g
+			counts[t/window]++
+		}
+		n := float64(t/window + 1)
+		var m float64
+		for _, c := range counts {
+			m += c
+		}
+		m /= n
+		var v float64
+		for w := int64(0); w <= t/window; w++ {
+			d := counts[w] - m
+			v += d * d
+		}
+		return v / n / m
+	}
+	mapD := dispersion(gaps(func() ArrivalProcess { return NewBurstyMAP(meanGap, 8, 50_000) }, 5, 100_000))
+	poiD := dispersion(gaps(func() ArrivalProcess { return NewPoisson(meanGap) }, 5, 100_000))
+	if poiD > 2 {
+		t.Errorf("poisson dispersion index %v, want ≈ 1", poiD)
+	}
+	if mapD < 3*poiD || mapD < 3 {
+		t.Errorf("MAP dispersion index %v vs poisson %v — not bursty enough", mapD, poiD)
+	}
+}
+
+func TestArrivalConstructorsPanicOnBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"poisson-zero":     func() { NewPoisson(0) },
+		"map-zero-mean":    func() { NewBurstyMAP(0, 8, 1000) },
+		"map-burstiness-1": func() { NewBurstyMAP(100, 1, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

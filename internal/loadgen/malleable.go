@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// MalleableSpec describes the parallel structure of the job population:
+// with probability ParallelFraction a job is malleable and runs as k
+// parallel tasks (k uniform on [2, MaxWidth]); the rest are sequential.
+// A malleable job of total work W on k cores finishes after W/s(k)
+// ticks of wall-clock compute per task, where the speedup curve
+//
+//	s(k) = k^SpeedupExponent
+//
+// is the concave family of Berg et al.: exponent 1 is embarrassingly
+// parallel (EQUI's favorite), smaller exponents waste cycles on
+// coordination — the job occupies k·W/s(k) ≥ W core-ticks, which is the
+// overhead an optimal allocation policy must weigh against finishing
+// elephants sooner. The zero value means "all sequential".
+type MalleableSpec struct {
+	// ParallelFraction is the probability a job is parallel, in [0, 1].
+	ParallelFraction float64
+	// MaxWidth is the largest task count of a parallel job (≥ 2 when
+	// ParallelFraction > 0).
+	MaxWidth int
+	// SpeedupExponent is the exponent of s(k) = k^e, in (0, 1].
+	SpeedupExponent float64
+}
+
+// validate panics on a structurally invalid spec — specs are code, not
+// input.
+func (m MalleableSpec) validate() {
+	if m.ParallelFraction < 0 || m.ParallelFraction > 1 || math.IsNaN(m.ParallelFraction) {
+		panic(fmt.Sprintf("loadgen: ParallelFraction %v", m.ParallelFraction))
+	}
+	if m.ParallelFraction == 0 {
+		return
+	}
+	if m.MaxWidth < 2 {
+		panic(fmt.Sprintf("loadgen: MaxWidth %d with parallel jobs (want ≥ 2)", m.MaxWidth))
+	}
+	if m.SpeedupExponent <= 0 || m.SpeedupExponent > 1 {
+		panic(fmt.Sprintf("loadgen: SpeedupExponent %v (want in (0, 1])", m.SpeedupExponent))
+	}
+}
+
+// Speedup returns s(k) for this spec (s(1) = 1 always).
+func (m MalleableSpec) Speedup(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return math.Pow(float64(k), m.SpeedupExponent)
+}
+
+// String renders the spec for report headers.
+func (m MalleableSpec) String() string {
+	if m.ParallelFraction == 0 {
+		return "sequential"
+	}
+	return fmt.Sprintf("p=%g,kmax=%d,sigma=%g", m.ParallelFraction, m.MaxWidth, m.SpeedupExponent)
+}
+
+// ExpectedCPU returns the expected core-ticks one job occupies, given
+// the mean total work: the width mixture of k·(W/s(k) + slack), where
+// slack accounts for the simulator's one-tick completion observation
+// per task plus the expected discretization half-tick. This is the
+// quantity that converts a target utilization into an arrival rate.
+func (m MalleableSpec) ExpectedCPU(meanWork float64) float64 {
+	const slack = 1.5
+	seq := meanWork + slack
+	if m.ParallelFraction == 0 {
+		return seq
+	}
+	widths := float64(m.MaxWidth - 1)
+	var par float64
+	for k := 2; k <= m.MaxWidth; k++ {
+		par += (float64(k)*(meanWork/m.Speedup(k)) + float64(k)*slack) / widths
+	}
+	return (1-m.ParallelFraction)*seq + m.ParallelFraction*par
+}

@@ -147,6 +147,38 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// Merge folds every observation of o into h. The two histograms must
+// share a sub-bucket resolution (bucket boundaries are a function of
+// subBuckets alone, so equal-resolution histograms are bucket-compatible
+// by construction). Merging is exact at the bucket level: Merge(h1, h2)
+// holds the same counts — and therefore the same quantile estimates — as
+// one histogram that recorded the concatenation of both sample streams.
+// This is what lets per-shard or per-load-point latency histograms be
+// combined into a sweep-wide distribution without re-recording.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if o.subBuckets != h.subBuckets {
+		panic(fmt.Sprintf("metrics: Merge of %d-sub-bucket histogram into %d", o.subBuckets, h.subBuckets))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// SubBuckets returns the histogram's per-power-of-two resolution; two
+// histograms are mergeable iff it matches.
+func (h *Histogram) SubBuckets() int { return h.subBuckets }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total }
 

@@ -155,6 +155,114 @@ func TestHistogramQuantileAccuracyProperty(t *testing.T) {
 	}
 }
 
+// Property: against an exact sorted-slice oracle, Quantile is bracketed
+// by the log-linear design bound: with the ceil-rank upper-edge
+// convention, exact ≤ estimate ≤ exact + exact/subBuckets (bucket width
+// never exceeds lower-edge/subBuckets). This is the bound the tail-
+// latency reports rely on for p50/p99/p999.
+func TestHistogramQuantileOracleBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		sub := []int{16, 32, 64}[trial%3]
+		h := NewHistogram(sub)
+		n := 1 + rng.Intn(5000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mix scales so every tier is exercised, including the exact
+			// sub-subBuckets range.
+			switch i % 3 {
+			case 0:
+				vals[i] = int64(rng.Intn(sub))
+			case 1:
+				vals[i] = int64(rng.Intn(100_000))
+			default:
+				vals[i] = int64(rng.Intn(1 << 40))
+			}
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(mathCeil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			est := h.Quantile(q)
+			if est < exact {
+				t.Fatalf("trial %d sub=%d q=%g: estimate %d below exact %d", trial, sub, q, est, exact)
+			}
+			if bound := exact + exact/int64(sub); est > bound {
+				t.Fatalf("trial %d sub=%d q=%g: estimate %d above bound %d (exact %d)", trial, sub, q, est, bound, exact)
+			}
+		}
+	}
+}
+
+func mathCeil(x float64) float64 {
+	i := float64(int64(x))
+	if i < x {
+		return i + 1
+	}
+	return i
+}
+
+// Property: Merge(h1, h2) is indistinguishable — counts, sum, extremes
+// and every quantile — from one histogram that recorded the concatenation
+// of both sample streams.
+func TestHistogramMergeEqualsConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		h1, h2, all := NewHistogram(32), NewHistogram(32), NewHistogram(32)
+		for i := 0; i < 400+rng.Intn(600); i++ {
+			v := int64(rng.Intn(1 << 30))
+			h1.Record(v)
+			all.Record(v)
+		}
+		for i := 0; i < rng.Intn(500); i++ { // h2 may be much smaller, even empty
+			v := int64(rng.Intn(1000))
+			h2.Record(v)
+			all.Record(v)
+		}
+		h1.Merge(h2)
+		if h1.Count() != all.Count() || h1.Mean() != all.Mean() ||
+			h1.Min() != all.Min() || h1.Max() != all.Max() {
+			t.Fatalf("trial %d: merged summary %s != concatenated %s", trial, h1, all)
+		}
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			if h1.Quantile(q) != all.Quantile(q) {
+				t.Fatalf("trial %d: merged Quantile(%.2f) = %d, concatenated %d",
+					trial, q, h1.Quantile(q), all.Quantile(q))
+			}
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram(16)
+	h.Record(7)
+	h.Merge(nil)
+	h.Merge(NewHistogram(16)) // empty: no-op, must not disturb min/max
+	if h.Count() != 1 || h.Min() != 7 || h.Max() != 7 {
+		t.Errorf("merge of nil/empty disturbed state: %s", h)
+	}
+	empty := NewHistogram(16)
+	empty.Merge(h)
+	if empty.Count() != 1 || empty.Min() != 7 || empty.Max() != 7 {
+		t.Errorf("merge into empty lost state: %s", empty)
+	}
+}
+
+func TestHistogramMergeResolutionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge across resolutions did not panic")
+		}
+	}()
+	a, b := NewHistogram(16), NewHistogram(32)
+	b.Record(1)
+	a.Merge(b)
+}
+
 // Property: bucketUpper is monotone and bucketIndex(bucketUpper(i)) == i.
 func TestHistogramBucketRoundTrip(t *testing.T) {
 	h := NewHistogram(16)
@@ -190,6 +298,26 @@ func TestViolationTracker(t *testing.T) {
 	s := v.Summary(30, 4)
 	if !strings.Contains(s, "2 violation episodes") {
 		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestViolationTrackerLongestEpisode(t *testing.T) {
+	v := NewViolationTracker(0)
+	v.Observe(0, 1, true)   // episode 1: [0,10) -> 10
+	v.Observe(10, 0, false) // closed
+	v.Observe(40, 2, true)  // episode 2: opens at 40
+	if got := v.LongestEpisodeAt(45); got != 10 {
+		t.Errorf("LongestEpisodeAt(45) = %d, want 10 (open episode shorter)", got)
+	}
+	if got := v.LongestEpisodeAt(90); got != 50 {
+		t.Errorf("LongestEpisodeAt(90) = %d, want 50 (open episode counts through t)", got)
+	}
+	v.Observe(100, 0, false) // episode 2 closed at 60 ticks
+	if got := v.LongestEpisodeAt(500); got != 60 {
+		t.Errorf("LongestEpisodeAt(500) = %d, want 60", got)
+	}
+	if v.Episodes() != 2 {
+		t.Errorf("Episodes = %d, want 2", v.Episodes())
 	}
 }
 

@@ -12,6 +12,8 @@ type ViolationTracker struct {
 	startT        int64
 	lastViolating bool
 	episodes      int64
+	episodeStart  int64
+	longest       int64
 }
 
 // NewViolationTracker starts tracking at time t.
@@ -34,6 +36,12 @@ func (v *ViolationTracker) Observe(t int64, idleCores int, anyOverloaded bool) {
 	v.idle.Observe(t, float64(idleCores))
 	if violating && !v.lastViolating {
 		v.episodes++
+		v.episodeStart = t
+	}
+	if !violating && v.lastViolating {
+		if d := t - v.episodeStart; d > v.longest {
+			v.longest = d
+		}
 	}
 	v.lastViolating = violating
 }
@@ -54,6 +62,22 @@ func (v *ViolationTracker) IdleCoreSeconds(t int64) float64 {
 // persistence that matters, visible as few long episodes vs many short
 // ones.
 func (v *ViolationTracker) Episodes() int64 { return v.episodes }
+
+// LongestEpisodeAt returns the duration of the longest violation episode
+// observed up to time t, counting a still-open episode as running through
+// t. Episode length is the §3.2 persistence measure: the same wasted
+// core-time is far worse as one long starvation interval than as many
+// transient blips, and it is episode length that correlates with tail
+// (p99+) latency inflation in the open-loop sweeps.
+func (v *ViolationTracker) LongestEpisodeAt(t int64) int64 {
+	longest := v.longest
+	if v.lastViolating {
+		if d := t - v.episodeStart; d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
 
 // Summary renders the tracker state at time t over n cores.
 func (v *ViolationTracker) Summary(t int64, cores int) string {

@@ -31,6 +31,11 @@ type Stats struct {
 	WastedPct float64
 	// ViolationEpisodes counts distinct idle-while-overloaded intervals.
 	ViolationEpisodes int64
+	// LongestViolationTicks is the longest single violation episode —
+	// the persistence measure that correlates with tail-latency
+	// inflation (one long starvation interval hurts p99 far more than
+	// the same wasted time as transient blips).
+	LongestViolationTicks int64
 	// Faults counts applied fault events (failures and revivals);
 	// Rescued counts orphans re-homed by the policy's rescue rule at
 	// failure time; Orphaned counts tasks still stranded on offline
@@ -41,20 +46,21 @@ type Stats struct {
 // snapshot assembles the Stats for the current clock.
 func (s *Simulator) snapshot() Stats {
 	st := Stats{
-		Duration:          s.clock,
-		Completed:         s.completions.Value(),
-		Latency:           s.latency,
-		WaitTime:          s.waitTime,
-		Steals:            s.steals.Value(),
-		StealFails:        s.stealFails.Value(),
-		Rounds:            s.rounds.Value(),
-		Preemptions:       s.preemptions.Value(),
-		WastedCoreTicks:   s.violations.WastedCoreSeconds(s.clock),
-		IdleCoreTicks:     s.violations.IdleCoreSeconds(s.clock),
-		ViolationEpisodes: s.violations.Episodes(),
-		Faults:            s.faults.Value(),
-		Rescued:           s.rescued.Value(),
-		Orphaned:          int64(len(s.m.Orphans())),
+		Duration:              s.clock,
+		Completed:             s.completions.Value(),
+		Latency:               s.latency,
+		WaitTime:              s.waitTime,
+		Steals:                s.steals.Value(),
+		StealFails:            s.stealFails.Value(),
+		Rounds:                s.rounds.Value(),
+		Preemptions:           s.preemptions.Value(),
+		WastedCoreTicks:       s.violations.WastedCoreSeconds(s.clock),
+		IdleCoreTicks:         s.violations.IdleCoreSeconds(s.clock),
+		ViolationEpisodes:     s.violations.Episodes(),
+		LongestViolationTicks: s.violations.LongestEpisodeAt(s.clock),
+		Faults:                s.faults.Value(),
+		Rescued:               s.rescued.Value(),
+		Orphaned:              int64(len(s.m.Orphans())),
 	}
 	if s.clock > 0 {
 		st.Throughput = float64(st.Completed) * 1000 / float64(s.clock)

@@ -1,0 +1,16 @@
+package workload
+
+import "repro/internal/loadgen"
+
+// The open-loop service workload — heavy-tailed request sizes, malleable
+// parallel jobs, Poisson or bursty-MAP arrivals — lives in
+// internal/loadgen. It satisfies this package's Workload interface
+// structurally (loadgen must not import workload, or the sweep runner
+// would cycle); this assertion keeps the two packages honest about the
+// contract.
+var _ Workload = (*loadgen.Service)(nil)
+
+// NewService adapts a loadgen.Service for use anywhere the zoo's
+// Workload is expected — e.g. inside a Combined alongside a Pinned hog,
+// reproducing the paper's "service traffic vs. rogue thread" mix.
+func NewService(svc *loadgen.Service) Workload { return svc }
