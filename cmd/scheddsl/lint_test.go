@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunLintExitContract table-drives the -lint exit contract over the
+// internal/dsl/testdata fixtures: 0 clean, 1 findings, 2 parse error.
+func TestRunLintExitContract(t *testing.T) {
+	cases := []struct {
+		file      string
+		maxFaults int
+		exit      int
+		contains  string // required substring of stdout (exit 0/1) or stderr (exit 2)
+	}{
+		{"delta2.pol", 0, 0, "lints clean"},
+		{"delta2.pol", 2, 1, "rescue-missing"},
+		{"shadowed.pol", 0, 1, "shadowed-clause"},
+		{"shadowed.pol", 1, 1, "rescue-missing"},
+		{"selfsteal.pol", 0, 1, "self-steal"},
+		{"loadunused.pol", 0, 1, "load-unused"},
+		{"aliasmixed.pol", 0, 1, "alias-mixed"},
+		{"badparse.pol", 0, 2, "expected an expression"},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			src, err := os.ReadFile("../../internal/dsl/testdata/" + c.file)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			var stdout, stderr strings.Builder
+			exit := runLint(string(src), c.file, c.maxFaults, &stdout, &stderr)
+			if exit != c.exit {
+				t.Errorf("maxFaults=%d: exit %d, want %d\nstdout: %s\nstderr: %s",
+					c.maxFaults, exit, c.exit, stdout.String(), stderr.String())
+			}
+			out := stdout.String()
+			if c.exit == 2 {
+				out = stderr.String()
+			}
+			if !strings.Contains(out, c.contains) {
+				t.Errorf("output missing %q:\n%s", c.contains, out)
+			}
+		})
+	}
+}
+
+// TestRunLintDeterministic pins byte-identical lint output run to run.
+func TestRunLintDeterministic(t *testing.T) {
+	src, err := os.ReadFile("../../internal/dsl/testdata/shadowed.pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first strings.Builder
+	runLint(string(src), "shadowed.pol", 3, &first, &first)
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		runLint(string(src), "shadowed.pol", 3, &again, &again)
+		if first.String() != again.String() {
+			t.Fatalf("run %d differs:\n%s\n%s", i, first.String(), again.String())
+		}
+	}
+}

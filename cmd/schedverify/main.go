@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	optsched "repro"
+	"repro/internal/dsl"
 )
 
 func main() {
@@ -110,7 +111,7 @@ func main() {
 	if *obligation != "" {
 		opts = append(opts, optsched.WithObligations(optsched.ObligationID(*obligation)))
 	}
-	cluster, err := buildCluster(*policyName, *dslFile, opts...)
+	cluster, err := buildCluster(*policyName, *dslFile, u.MaxFaults, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -139,8 +140,11 @@ func main() {
 }
 
 // buildCluster assembles the verification session from either a
-// built-in policy name or a DSL file.
-func buildCluster(name, dslFile string, extra ...optsched.Option) (*optsched.Cluster, error) {
+// built-in policy name or a DSL file. DSL policies additionally run
+// through the semantic linter (dsl.Analyze): findings go to stderr as
+// warnings and never change the exit status — the verifier, not the
+// linter, is the authority on whether the policy is correct.
+func buildCluster(name, dslFile string, maxFaults int, extra ...optsched.Option) (*optsched.Cluster, error) {
 	switch {
 	case name != "" && dslFile != "":
 		return nil, fmt.Errorf("schedverify: use -policy or -dsl, not both")
@@ -150,6 +154,11 @@ func buildCluster(name, dslFile string, extra ...optsched.Option) (*optsched.Clu
 		src, err := os.ReadFile(dslFile)
 		if err != nil {
 			return nil, err
+		}
+		if ast, err := dsl.Parse(string(src)); err == nil {
+			for _, d := range dsl.Analyze(ast, dsl.AnalyzeOptions{MaxFaults: maxFaults}) {
+				fmt.Fprintf(os.Stderr, "schedverify: warning: %s:%s\n", dslFile, d)
+			}
 		}
 		return optsched.New(append(extra, optsched.WithDSL(string(src)))...)
 	}

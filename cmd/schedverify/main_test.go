@@ -23,20 +23,20 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestBuildClusterBuiltin(t *testing.T) {
-	c, err := buildCluster("delta2", "")
+	c, err := buildCluster("delta2", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.PolicyName() != "delta2" || c.NewPolicy().Name() != "delta2" {
 		t.Errorf("resolved %q", c.PolicyName())
 	}
-	if _, err := buildCluster("nope", ""); err == nil {
+	if _, err := buildCluster("nope", "", 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := buildCluster("", ""); err == nil {
+	if _, err := buildCluster("", "", 0); err == nil {
 		t.Error("empty selection accepted")
 	}
-	if _, err := buildCluster("delta2", "x.pol"); err == nil {
+	if _, err := buildCluster("delta2", "x.pol", 0); err == nil {
 		t.Error("both -policy and -dsl accepted")
 	}
 }
@@ -48,7 +48,7 @@ func TestBuildClusterDSL(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c, err := buildCluster("", path)
+	c, err := buildCluster("", path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +56,12 @@ func TestBuildClusterDSL(t *testing.T) {
 		t.Errorf("resolved %q", c.PolicyName())
 	}
 	// Missing file and broken DSL both error.
-	if _, err := buildCluster("", filepath.Join(dir, "missing.pol")); err == nil {
+	if _, err := buildCluster("", filepath.Join(dir, "missing.pol"), 0); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(dir, "bad.pol")
 	os.WriteFile(bad, []byte("policy x {}"), 0o644)
-	if _, err := buildCluster("", bad); err == nil {
+	if _, err := buildCluster("", bad, 0); err == nil {
 		t.Error("filterless policy accepted")
 	}
 }

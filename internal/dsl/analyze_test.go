@@ -1,0 +1,160 @@
+package dsl
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func mustParseFile(t *testing.T, name string) *Policy {
+	t.Helper()
+	src, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	p, err := Parse(string(src))
+	if err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	return p
+}
+
+func codes(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func hasCode(ds []Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeClean(t *testing.T) {
+	p := mustParseFile(t, "delta2.pol")
+	if ds := Analyze(p, AnalyzeOptions{}); len(ds) != 0 {
+		t.Errorf("delta2 should lint clean, got %v", ds)
+	}
+}
+
+func TestAnalyzeShadowedAndRescue(t *testing.T) {
+	p := mustParseFile(t, "shadowed.pol")
+
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "shadowed-clause") {
+		t.Errorf("shadowed.pol: want shadowed-clause, got %v", codes(ds))
+	}
+	if hasCode(ds, "rescue-missing") {
+		t.Errorf("rescue-missing reported without a fault budget: %v", codes(ds))
+	}
+
+	ds = Analyze(p, AnalyzeOptions{MaxFaults: 1})
+	if !hasCode(ds, "rescue-missing") {
+		t.Errorf("shadowed.pol with MaxFaults=1: want rescue-missing, got %v", codes(ds))
+	}
+}
+
+func TestAnalyzeSelfSteal(t *testing.T) {
+	p := mustParseFile(t, "selfsteal.pol")
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "self-steal") {
+		t.Errorf("want self-steal, got %v", codes(ds))
+	}
+	if hasCode(ds, "filter-false") {
+		t.Errorf("self-steal case must not double-report filter-false: %v", codes(ds))
+	}
+}
+
+func TestAnalyzeFilterFalse(t *testing.T) {
+	p, err := Parse("policy never { filter = false choose = first }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "filter-false") {
+		t.Errorf("want filter-false, got %v", codes(ds))
+	}
+}
+
+func TestAnalyzeVacuousConjunct(t *testing.T) {
+	p, err := Parse("policy vac { filter = stealee.nthreads > self.nthreads && stealee.nthreads >= 0 choose = first }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "vacuous-conjunct") {
+		t.Errorf("want vacuous-conjunct, got %v", codes(ds))
+	}
+}
+
+func TestAnalyzeStealNonpositive(t *testing.T) {
+	p, err := Parse("policy zero { filter = stealee.nthreads > self.nthreads steal = 0 - 1 choose = first }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "steal-nonpositive") {
+		t.Errorf("want steal-nonpositive, got %v", codes(ds))
+	}
+}
+
+func TestAnalyzeLoadUnused(t *testing.T) {
+	p := mustParseFile(t, "loadunused.pol")
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "load-unused") {
+		t.Errorf("want load-unused, got %v", codes(ds))
+	}
+
+	// The same metric consumed by a load-driven chooser is not unused.
+	used, err := Parse("policy used { load = self.weight.sum filter = stealee.nthreads - self.nthreads >= 2 choose = max_load }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := Analyze(used, AnalyzeOptions{}); hasCode(ds, "load-unused") {
+		t.Errorf("max_load consumes the load metric, got %v", codes(ds))
+	}
+
+	// The parser's default load never counts as declared.
+	def, err := Parse("policy def { filter = stealee.nthreads - self.nthreads >= 2 choose = first }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := Analyze(def, AnalyzeOptions{}); hasCode(ds, "load-unused") {
+		t.Errorf("default load flagged as unused: %v", codes(ds))
+	}
+}
+
+func TestAnalyzeAliasMixed(t *testing.T) {
+	p := mustParseFile(t, "aliasmixed.pol")
+	ds := Analyze(p, AnalyzeOptions{})
+	if !hasCode(ds, "alias-mixed") {
+		t.Errorf("want alias-mixed, got %v", codes(ds))
+	}
+}
+
+// TestAnalyzeDeterministic pins the warning path's byte-level
+// determinism: the JSON document schedverifyd embeds in /v1/verify
+// responses must be identical run to run.
+func TestAnalyzeDeterministic(t *testing.T) {
+	p := mustParseFile(t, "shadowed.pol")
+	first, err := json.Marshal(Analyze(p, AnalyzeOptions{MaxFaults: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q := mustParseFile(t, "shadowed.pol")
+		again, err := json.Marshal(Analyze(q, AnalyzeOptions{MaxFaults: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(again) {
+			t.Fatalf("run %d: warnings differ:\n%s\n%s", i, first, again)
+		}
+	}
+}

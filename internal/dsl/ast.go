@@ -125,6 +125,10 @@ type Policy struct {
 	Name string
 	// Load is the load metric expression (int, roots: self).
 	Load expr
+	// LoadDeclared records whether the source had an explicit load
+	// clause, as opposed to the parser's self.nthreads default — the
+	// linter flags a declared load that nothing consumes.
+	LoadDeclared bool
 	// Filter is the step-1 predicate (bool, roots: thief/self, stealee).
 	Filter expr
 	// Steal is the step-3 count expression (int, roots: thief/self,

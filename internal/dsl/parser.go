@@ -85,6 +85,7 @@ func (p *parser) parsePolicy() (*Policy, error) {
 				return nil, err
 			}
 			pol.Load = e
+			pol.LoadDeclared = true
 		case "filter":
 			e, err := p.parseExpr()
 			if err != nil {

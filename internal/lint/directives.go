@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is silenced by a line comment
+//
+//	//schedlint:allow <pass> <reason>
+//
+// placed either on the offending line itself (trailing comment) or
+// alone on the line directly above it. The reason is mandatory and the
+// pass name must exist: a directive that names no known pass or gives
+// no reason is itself a diagnostic, so annotations stay reviewed
+// decisions rather than typo-prone noise.
+
+const directivePrefix = "//schedlint:allow"
+
+// allowSet records which (pass, file, line) triples are suppressed.
+type allowSet map[string]map[int]bool // "pass\x00file" -> covered lines
+
+func (s allowSet) add(pass, file string, line int) {
+	key := pass + "\x00" + file
+	if s[key] == nil {
+		s[key] = make(map[int]bool)
+	}
+	s[key][line] = true
+}
+
+func (s allowSet) covers(pass, file string, line int) bool {
+	return s[pass+"\x00"+file][line]
+}
+
+// directives scans a package's comments for //schedlint:allow lines,
+// returning the suppression set and any hygiene diagnostics.
+func directives(prog *Program, pkg *Package) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var bad []Diagnostic
+	for _, file := range pkg.Files {
+		// hasCode[line] records lines on which some non-comment syntax
+		// node ends — used to tell a trailing comment (suppresses its own
+		// line) from a standalone one (suppresses the next line too).
+		hasCode := map[int]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			hasCode[prog.Fset.Position(n.End()).Line] = true
+			return true
+		})
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pass: "schedlint", Pos: pos,
+						Message: "malformed directive: want //schedlint:allow <pass> <reason>",
+					})
+					continue
+				}
+				pass := fields[0]
+				known := pass == "schedlint"
+				if !known {
+					_, known = ByName(pass)
+				}
+				if !known {
+					bad = append(bad, Diagnostic{
+						Pass: "schedlint", Pos: pos,
+						Message: "directive names unknown pass " + quoted(pass),
+					})
+					continue
+				}
+				allows.add(pass, pos.Filename, pos.Line)
+				if !hasCode[pos.Line] {
+					// Standalone comment: nothing but the directive on its
+					// line, so it guards the line below.
+					allows.add(pass, pos.Filename, pos.Line+1)
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+func quoted(s string) string { return `"` + s + `"` }

@@ -1,0 +1,117 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestAnalyzersFor(t *testing.T) {
+	cases := []struct {
+		path string
+		want []string
+	}{
+		{"repro/internal/verify", []string{"depsaudit", "determinism"}},
+		{"repro/internal/service/store", []string{"depsaudit", "determinism"}},
+		{"repro/internal/engine", []string{"depsaudit", "atomicsdiscipline"}},
+		{"repro/internal/sched", []string{"depsaudit"}},
+		{"repro/internal/simx", []string{"depsaudit"}}, // segment-aware: not internal/sim
+		{"repro/cmd/schedverify", []string{"depsaudit"}},
+	}
+	for _, c := range cases {
+		got := lint.AnalyzersFor(c.path)
+		var names []string
+		for _, a := range got {
+			names = append(names, a.Name)
+		}
+		if strings.Join(names, ",") != strings.Join(c.want, ",") {
+			t.Errorf("AnalyzersFor(%q) = %v, want %v", c.path, names, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		got, ok := lint.ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v", a.Name, got, ok)
+		}
+	}
+	if _, ok := lint.ByName("nosuchpass"); ok {
+		t.Error("ByName accepted an unknown pass")
+	}
+}
+
+// TestLoadRepo loads the real module and sanity-checks the program
+// index: target packages resolve, and a cross-package function
+// declaration is reachable by its types.Func — the property depsaudit's
+// call-graph walk rests on.
+func TestLoadRepo(t *testing.T) {
+	prog, targets, err := lint.Load("../..", "./internal/verify", "./internal/sched")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("got %d targets, want 2", len(targets))
+	}
+	for _, want := range []string{"repro/internal/verify", "repro/internal/sched"} {
+		if _, ok := prog.Package(want); !ok {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	verifyPkg, _ := prog.Package("repro/internal/verify")
+	if verifyPkg.Info == nil || verifyPkg.Types == nil || len(verifyPkg.Files) == 0 {
+		t.Fatal("verify package loaded without syntax or type info")
+	}
+}
+
+// TestDirectiveHygiene checks that malformed and unknown-pass
+// directives are themselves diagnostics, and that the schedlint
+// pseudo-pass can suppress them.
+func TestDirectiveHygiene(t *testing.T) {
+	prog, targets, err := lint.Load(".", "./testdata/src/directives")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := lint.RunPackage(prog, targets[0], nil)
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed directive") {
+		t.Errorf("first diagnostic = %v, want malformed-directive", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, `unknown pass "nosuchpass"`) {
+		t.Errorf("second diagnostic = %v, want unknown-pass", diags[1])
+	}
+	for _, d := range diags {
+		if d.Pass != "schedlint" {
+			t.Errorf("hygiene diagnostic carries pass %q, want schedlint", d.Pass)
+		}
+	}
+}
+
+// TestRepoClean is the acceptance gate in test form: the suite runs
+// clean over the whole module, with every remaining wall-clock or
+// map-order use annotated.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	prog, targets, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range targets {
+		diags, err := lint.RunPackage(prog, pkg, lint.AnalyzersFor(pkg.Path))
+		if err != nil {
+			t.Fatalf("RunPackage(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

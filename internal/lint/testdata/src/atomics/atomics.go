@@ -1,0 +1,48 @@
+// Package fixture exercises the atomicsdiscipline analyzer: plain
+// accesses of address-taken atomics, by-value copies of typed atomics,
+// and the accesses that must stay silent (atomic calls, method calls,
+// address-of).
+package fixture
+
+import "sync/atomic"
+
+var counter int64
+var plain int64
+var flag atomic.Bool
+
+type state struct {
+	n      int32
+	b      atomic.Int32
+	normal int32
+}
+
+func inc() { atomic.AddInt64(&counter, 1) }
+
+func load() int64 { return atomic.LoadInt64(&counter) }
+
+func bad() int64 { return counter } // want "plain access of counter"
+
+func badWrite() { counter = 0 } // want "plain access of counter"
+
+// plain is never touched by sync/atomic, so ordinary use is fine.
+func plainUse() int64 { plain++; return plain }
+
+func (s *state) inc() { atomic.AddInt32(&s.n, 1) }
+
+func (s *state) bad() int32 { return s.n } // want "plain access of n"
+
+func (s *state) normalUse() int32 { return s.normal }
+
+func methodOK() bool { return flag.Load() }
+
+func addrOK() *atomic.Bool { return &flag }
+
+func copyBad() atomic.Bool { return flag } // want "flag has a sync/atomic type and is used by value"
+
+func (s *state) typedMethodOK() int32 { return s.b.Load() }
+
+func (s *state) typedCopyBad() atomic.Int32 { return s.b } // want "b has a sync/atomic type and is used by value"
+
+func allowed() int64 {
+	return counter //schedlint:allow atomicsdiscipline fixture exercising suppression
+}

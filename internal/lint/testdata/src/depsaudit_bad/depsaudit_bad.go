@@ -1,0 +1,53 @@
+// Package fixture is the negative depsaudit case from the issue: a
+// checker that calls Choose without declaring CompChoose must draw
+// exactly one diagnostic, on the row. A second obligation declares a
+// component its checker never reaches.
+package fixture
+
+type Core struct{ ID int }
+
+type Policy interface {
+	Load(c *Core) int64
+	CanSteal(self, stealee *Core) bool
+	Choose(self *Core, cands []*Core) *Core
+	StealCount(self, stealee *Core) int
+}
+
+type ObligationID string
+
+const (
+	ObUndeclared ObligationID = "undeclared-choose"
+	ObUnreached  ObligationID = "unreached-steal"
+)
+
+const (
+	CompFilter = "filter"
+	CompChoose = "choose"
+	CompSteal  = "steal"
+)
+
+var obligationDeps = map[ObligationID][]string{
+	ObUndeclared: {CompFilter},            // want "reaches policy component .choose. .via checkUndeclared -> Policy.Choose. but its obligationDeps row does not declare it"
+	ObUnreached:  {CompFilter, CompSteal}, // want "declares component .steal. but the checker never reaches it"
+}
+
+func dispatch(id ObligationID, p Policy) {
+	switch id {
+	case ObUndeclared:
+		checkUndeclared(p)
+	case ObUnreached:
+		checkUnreached(p)
+	}
+}
+
+func checkUndeclared(p Policy) {
+	var a, b Core
+	if p.CanSteal(&a, &b) {
+		_ = p.Choose(&a, []*Core{&b})
+	}
+}
+
+func checkUnreached(p Policy) {
+	var a, b Core
+	_ = p.CanSteal(&a, &b)
+}

@@ -1,0 +1,40 @@
+// Package fixture covers the table/dispatch mismatches: an obligation
+// dispatched with no obligationDeps row (the issue's deleted-row
+// acceptance case) and a row whose obligation no dispatch case names.
+package fixture
+
+type Core struct{ ID int }
+
+type Policy interface {
+	Load(c *Core) int64
+	CanSteal(self, stealee *Core) bool
+	Choose(self *Core, cands []*Core) *Core
+	StealCount(self, stealee *Core) int
+}
+
+type ObligationID string
+
+const (
+	ObDeleted ObligationID = "deleted-row"
+	ObStale   ObligationID = "stale-row"
+)
+
+const (
+	CompFilter = "filter"
+)
+
+var obligationDeps = map[ObligationID][]string{
+	ObStale: {CompFilter}, // want "obligationDeps row .stale-row. matches no checker dispatch case"
+}
+
+func dispatch(id ObligationID, p Policy) {
+	switch id {
+	case ObDeleted: // want "obligation .deleted-row. is dispatched to a checker but has no obligationDeps row"
+		checkDeleted(p)
+	}
+}
+
+func checkDeleted(p Policy) {
+	var a, b Core
+	_ = p.CanSteal(&a, &b)
+}

@@ -1,0 +1,125 @@
+// Package fixture exercises the determinism analyzer: banned
+// wall-clock and global-rand references, order-sensitive map ranges,
+// map-typed JSON fields — and the safe counterparts that must stay
+// silent, plus an //schedlint:allow suppression.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Report has one flagged field (Tags) and two clean ones: slices
+// marshal in order, json:"-" fields never reach the encoder.
+type Report struct {
+	Names []string          `json:"names"`
+	Tags  map[string]string `json:"tags"` // want "map-typed JSON field Tags"
+	Skip  map[string]int    `json:"-"`
+	State map[string]int    // untagged: never marshaled by the report path
+}
+
+func now() time.Time { return time.Now() } // want "time.Now reads the wall clock"
+
+func since(t time.Time) time.Duration { return time.Since(t) } // want "time.Since reads the wall clock"
+
+func roll() int { return rand.Intn(6) } // want "rand.Intn draws from the process-global source"
+
+func seeded() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func first(m map[string]int) int {
+	for _, v := range m { // want "map iteration order flows into output"
+		return v
+	}
+	return 0
+}
+
+func firstOver(m map[string]int, lim int) (k string) {
+	for key, v := range m { // want "map iteration order flows into output"
+		if v > lim {
+			k = key
+			break
+		}
+	}
+	return k
+}
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order flows into output"
+		out = append(out, k)
+	}
+	return out
+}
+
+func render(m map[string]int) {
+	for k := range m { // want "map iteration order flows into output"
+		fmt.Println(k)
+	}
+}
+
+func join(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration order flows into output"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// count is order-insensitive: compound assignment accumulates
+// commutatively.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes through keys — order never shows in the result.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// innerBreak's break exits the nested switch, not the map range.
+func innerBreak(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		switch {
+		case v > 0:
+			n++
+		default:
+			break
+		}
+	}
+	return n
+}
+
+// literals: a closure body formats output but runs outside the
+// iteration, so the range body itself stays clean (FuncLit is skipped).
+func literals(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		f := func() { fmt.Println(v) }
+		_ = f
+		n++
+	}
+	return n
+}
+
+// allowed exercises trailing-comment suppression.
+func allowed() time.Time {
+	return time.Now() //schedlint:allow determinism fixture exercising trailing suppression
+}
+
+// allowedAbove exercises standalone-comment suppression of the next
+// line.
+func allowedAbove() time.Time {
+	//schedlint:allow determinism fixture exercising standalone suppression
+	return time.Now()
+}

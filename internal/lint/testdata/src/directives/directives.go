@@ -1,0 +1,18 @@
+// Package fixture holds deliberately broken //schedlint:allow
+// directives for the hygiene test: no want comments here because the
+// hygiene diagnostics land on the directive lines themselves, so the
+// test asserts on the diagnostic list directly.
+package fixture
+
+//schedlint:allow determinism
+func missingReason() {}
+
+//schedlint:allow nosuchpass because reasons
+func unknownPass() {}
+
+// A hygiene finding is itself suppressible under the schedlint
+// pseudo-pass: the malformed directive below draws no diagnostic.
+
+//schedlint:allow schedlint the malformed directive below is fixture material
+//schedlint:allow determinism
+func suppressedHygiene() {}

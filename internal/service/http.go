@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/dsl"
 	"repro/internal/verify"
 )
 
@@ -46,6 +47,11 @@ type SubmitResponse struct {
 	Error string `json:"error,omitempty"`
 	// Report is the verify.ReportJSON document when Status is "done".
 	Report json.RawMessage `json:"report,omitempty"`
+	// Warnings are the DSL semantic linter's findings for source
+	// submissions (dsl.Analyze): advisory only — they never block
+	// verification, never affect the verdict or the cache key, and are
+	// emitted in deterministic order on both submit and poll responses.
+	Warnings []dsl.Diagnostic `json:"warnings,omitempty"`
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -77,7 +83,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	rep, job, err := s.Submit(req)
+	rep, job, warnings, err := s.submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter/time.Second)+1))
@@ -87,13 +93,14 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	case rep != nil:
-		writeJSON(w, http.StatusOK, doneResponse(rep, true))
+		writeJSON(w, http.StatusOK, doneResponse(rep, true, warnings))
 	default:
 		state, _, _ := job.Snapshot()
 		writeJSON(w, http.StatusAccepted, SubmitResponse{
-			Status: string(state),
-			JobID:  job.ID(),
-			Poll:   "/v1/jobs/" + job.ID(),
+			Status:   string(state),
+			JobID:    job.ID(),
+			Poll:     "/v1/jobs/" + job.ID(),
+			Warnings: warnings,
 		})
 	}
 }
@@ -105,9 +112,9 @@ func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state, rep, errMsg := job.Snapshot()
-	resp := SubmitResponse{Status: string(state), JobID: job.ID(), Error: errMsg}
+	resp := SubmitResponse{Status: string(state), JobID: job.ID(), Error: errMsg, Warnings: job.sub.warnings}
 	if state == JobDone {
-		resp = doneResponse(rep, false)
+		resp = doneResponse(rep, false, job.sub.warnings)
 		resp.JobID = job.ID()
 	} else if state != JobCancelled {
 		resp.Poll = "/v1/jobs/" + job.ID()
@@ -143,14 +150,14 @@ func (s *Service) handleCacheFlush(w http.ResponseWriter, _ *http.Request) {
 }
 
 // doneResponse wraps a finished report in the envelope.
-func doneResponse(rep *verify.Report, cached bool) SubmitResponse {
+func doneResponse(rep *verify.Report, cached bool, warnings []dsl.Diagnostic) SubmitResponse {
 	passed := rep.Passed()
 	data, err := verify.ReportJSON(rep)
 	if err != nil {
 		// Unreachable: Report marshals from plain structs.
 		data = []byte(fmt.Sprintf("%q", err.Error()))
 	}
-	return SubmitResponse{Status: "done", Cached: cached, Passed: &passed, Report: data}
+	return SubmitResponse{Status: "done", Cached: cached, Passed: &passed, Report: data, Warnings: warnings}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

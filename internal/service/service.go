@@ -270,6 +270,10 @@ type submission struct {
 	keys        []string // parallel to obligations
 	jobKey      string
 	timeout     time.Duration // client-propagated deadline; 0 = none
+	// warnings are the DSL linter's findings for source submissions:
+	// advisory only, echoed in submit and poll responses, never part of
+	// the content identity (they restate the policy, not the verdict).
+	warnings []dsl.Diagnostic
 }
 
 // resolve validates a request and computes its content identity.
@@ -304,6 +308,7 @@ func (s *Service) resolve(req Request) (*submission, error) {
 		if err != nil {
 			return nil, err
 		}
+		sub.warnings = dsl.Analyze(ast, dsl.AnalyzeOptions{MaxFaults: req.universe().MaxFaults})
 	default:
 		return nil, fmt.Errorf("service: request needs a policy name or DSL source")
 	}
@@ -351,28 +356,40 @@ func (s *Service) keysFor(req Request, forms map[string]string) ([]string, []ver
 // byte-identical to a cold run) or a job to poll. A full queue returns
 // ErrQueueFull.
 func (s *Service) Submit(req Request) (*verify.Report, *Job, error) {
+	rep, job, _, err := s.submit(req)
+	return rep, job, err
+}
+
+// submit is Submit plus the resolved submission's advisory linter
+// warnings — the HTTP layer threads them into response envelopes.
+func (s *Service) submit(req Request) (*verify.Report, *Job, []dsl.Diagnostic, error) {
 	sub, err := s.resolve(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// Fast path: every obligation memoized. Peek first so the hit/miss
 	// accounting counts each submission's keys exactly once.
 	if s.cache.peekAll(sub.keys) {
 		results := make([]verify.Result, len(sub.obligations))
+		complete := true
 		for i, key := range sub.keys {
 			res, ok := s.cache.lookup(key)
 			if !ok {
 				// Unreachable: the cache never evicts. Fall through to a
 				// job rather than fabricating a result.
-				return s.enqueue(sub)
+				complete = false
+				break
 			}
 			results[i] = res
 		}
-		s.servedFromCache.Add(1)
-		return sub.report(results), nil, nil
+		if complete {
+			s.servedFromCache.Add(1)
+			return sub.report(results), nil, sub.warnings, nil
+		}
 	}
-	return s.enqueue(sub)
+	rep, job, err := s.enqueue(sub)
+	return rep, job, sub.warnings, err
 }
 
 // enqueue coalesces onto a live identical job or queues a new one.
@@ -407,7 +424,7 @@ func (s *Service) enqueue(sub *submission) (*verify.Report, *Job, error) {
 		ctx:       ctx,
 		cancelFn:  cancel,
 		state:     JobQueued,
-		submitted: time.Now(),
+		submitted: time.Now(), //schedlint:allow determinism job lifecycle timestamps are operational metadata, not report content
 	}
 	select {
 	case s.queue <- job:
@@ -445,7 +462,7 @@ func (s *Service) runJob(job *Job) {
 		return
 	}
 	job.state = JobRunning
-	job.started = time.Now()
+	job.started = time.Now() //schedlint:allow determinism job lifecycle timestamps are operational metadata, not report content
 	job.mu.Unlock()
 
 	s.faults.Check(faultinject.OpWorker, "") // chaos: injected worker stall
@@ -462,7 +479,7 @@ func (s *Service) runJob(job *Job) {
 			results[i] = res
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //schedlint:allow determinism latency measurement feeds Stats, not the verification report
 		res := s.runChecker(job.ctx, id, sub.factory, cfg)
 		if res.Aborted {
 			if job.ctx.Err() != nil {
@@ -475,7 +492,7 @@ func (s *Service) runJob(job *Job) {
 			results[i] = res
 			continue
 		}
-		s.recordLatency(id, time.Since(start))
+		s.recordLatency(id, time.Since(start)) //schedlint:allow determinism latency measurement feeds Stats, not the verification report
 		s.cache.store(sub.keys[i], res)
 		s.persist(sub.keys[i], res)
 		results[i] = res
@@ -534,7 +551,7 @@ func (s *Service) FlushCache() (int, error) {
 // finish moves a job to its terminal state and updates the indexes.
 func (s *Service) finish(job *Job, rep *verify.Report, errMsg string) {
 	job.mu.Lock()
-	job.finished = time.Now()
+	job.finished = time.Now() //schedlint:allow determinism job lifecycle timestamps are operational metadata, not report content
 	if rep != nil {
 		job.state = JobDone
 		job.report = rep

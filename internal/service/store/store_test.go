@@ -25,8 +25,8 @@ func sampleResults() []struct {
 		{"k-pass", verify.Result{ID: verify.ObLemma1, Passed: true, StatesChecked: 1234}},
 		{"k-refuted", verify.Result{
 			ID: verify.ObWorkConservConc, Passed: false,
-			Witness:          "state [2 0 0] schedule (1<-0, 2<-0) \"quoted\" \x00-free ✓",
-			StatesChecked:    99, SchedulesChecked: 777,
+			Witness:       "state [2 0 0] schedule (1<-0, 2<-0) \"quoted\" \x00-free ✓",
+			StatesChecked: 99, SchedulesChecked: 777,
 		}},
 		{"k-bound", verify.Result{ID: verify.ObWorkConservSeq, Passed: true, StatesChecked: 5, Bound: 7}},
 		{"k-sched", verify.Result{ID: verify.ObReactivity, Passed: true, StatesChecked: 42, SchedulesChecked: 13}},

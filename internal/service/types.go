@@ -152,6 +152,7 @@ type Stats struct {
 	Store *store.Stats `json:"store,omitempty"`
 	// Obligations maps obligation ID to verification latency over cache
 	// misses (hits never run the checker).
+	//schedlint:allow determinism Stats is an admin diagnostic document, not a cached report; sorted-key map rendering is fine here
 	Obligations map[string]ObligationStats `json:"obligations"`
 }
 

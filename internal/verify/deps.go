@@ -51,7 +51,7 @@ var obligationDeps = map[ObligationID][]PolicyComponent{
 	ObFailureImpliesSucc:  {CompFilter, CompChoose, CompSteal},
 	ObWorkConservSeq:      {CompFilter, CompChoose, CompSteal},
 	ObWorkConservConc:     {CompFilter, CompChoose, CompSteal},
-	ObChoiceIndependence:  {CompFilter, CompSteal},
+	ObChoiceIndependence:  {CompFilter, CompSteal}, //schedlint:allow depsaudit the checker calls Choose only to discard it: the verdict quantifies over all choices, so choose edits cannot change it
 	ObReactivity:          {CompFilter, CompChoose, CompSteal},
 	ObNoTaskLost:          {CompFilter, CompChoose, CompSteal, CompRescue},
 	ObDegradedWastedCores: {CompFilter, CompChoose, CompSteal, CompRescue},

@@ -54,20 +54,24 @@ func checkNoTaskLostShard(ctx context.Context, f Factory, u statespace.Universe,
 		for i, ev := range m.Faults {
 			if ev.Revive {
 				m.ReviveCore(ev.Core)
-				for id, core := range orphanCore {
-					if core != ev.Core {
+				// Walk the revived core's queue (not the map) for a
+				// deterministic first witness: the stranded orphans are
+				// exactly the tasks still sitting in its Ready list.
+				for _, t := range m.Core(ev.Core).Ready {
+					core, ok := orphanCore[t.ID]
+					if !ok || core != ev.Core {
 						continue
 					}
-					if delay := i - orphanedAt[id]; delay > maxRounds {
+					if delay := i - orphanedAt[t.ID]; delay > maxRounds {
 						res.refute(rank, fmt.Sprintf(
 							"state %v script %v: task %d orphaned on core %d at round %d not re-homed until round %d (bound %d)",
-							start, m.Faults, id, core, orphanedAt[id], i, maxRounds))
+							start, m.Faults, t.ID, core, orphanedAt[t.ID], i, maxRounds))
 						return false
 					} else if delay > res.Bound {
 						res.Bound = delay
 					}
-					delete(orphanedAt, id)
-					delete(orphanCore, id)
+					delete(orphanedAt, t.ID)
+					delete(orphanCore, t.ID)
 				}
 			} else {
 				m.FailCore(ev.Core)

@@ -14,7 +14,7 @@ import (
 // Bump it whenever any obligation's verdicts, counters, bounds or
 // witness text can change — shard-merge changes included, since reports
 // are defined to be byte-identical across parallelism levels.
-const Version = "optsched-verify/3"
+const Version = "optsched-verify/4"
 
 // Config parameterizes a verification run.
 type Config struct {
